@@ -1,0 +1,238 @@
+// Command declctl runs the paper's experiments and the repository's
+// ablations from the command line, printing each table in the paper's
+// layout.
+//
+// Usage:
+//
+//	declctl table1                 # Table 1: sorting 20 flavours, 3 strategies
+//	declctl table2                 # Table 2: sorting 100 words, sort-then-insert
+//	declctl table3 [-pairs 5742]   # Table 3: entity resolution with transitivity
+//	declctl table4                 # Table 4: imputation, hybrid LLM / k-NN
+//	declctl ablate-batch           # A1: grouping batch-size sweep
+//	declctl ablate-quality         # A2: quality-control policies
+//	declctl ablate-planner         # A3: automatic strategy selection
+//	declctl ablate-repair          # A4: comparison-graph repair
+//	declctl ablate-filter          # A5: adaptive filter policies
+//	declctl all                    # everything above
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	// Sub-flags parsed from the remaining arguments.
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	pairs := sub.Int("pairs", 5742, "labelled pair count for table3")
+	trials := sub.Int("trials", 3, "trial count for table2")
+	words := sub.Int("words", 100, "words per trial for table2")
+	sub.Parse(flag.Args()[1:])
+
+	ctx := context.Background()
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "declctl: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	table1 := func() error {
+		rows, err := experiments.Table1(ctx, experiments.DefaultTable1Config())
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		return nil
+	}
+	table2 := func() error {
+		cfg := experiments.DefaultTable2Config()
+		cfg.Trials = *trials
+		cfg.Words = *words
+		rows, err := experiments.Table2(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+		return nil
+	}
+	table3 := func() error {
+		cfg := experiments.DefaultTable3Config()
+		cfg.Citations.Pairs = *pairs
+		if *pairs < 2000 {
+			cfg.Citations.Entities = *pairs / 4
+		}
+		rows, err := experiments.Table3(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+		return nil
+	}
+	table4 := func() error {
+		rows, err := experiments.Table4(ctx, experiments.DefaultTable4Config())
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+		return nil
+	}
+	ablateBatch := func() error {
+		rows, err := experiments.AblationBatchSize(ctx, "sim-gpt-3.5-turbo", 60, 1, []int{4, 8, 12, 20})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationBatchSize(rows))
+		return nil
+	}
+	ablateQuality := func() error {
+		rows, err := experiments.AblationQuality(ctx, "sim-cheap", 5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationQuality(rows))
+		return nil
+	}
+	ablatePlanner := func() error {
+		rows, err := experiments.AblationPlanner(ctx, "sim-gpt-3.5-turbo")
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationPlanner(rows))
+		return nil
+	}
+	ablateRepair := func() error {
+		rows, err := experiments.AblationRepair(ctx, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationRepair(rows))
+		return nil
+	}
+	ablateBatchCmp := func() error {
+		rows, err := experiments.AblationCompareBatch(ctx, "sim-gpt-3.5-turbo", []int{1, 3, 5, 10, 19})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationCompareBatch(rows))
+		return nil
+	}
+	ablateEvidence := func() error {
+		rows, err := experiments.AblationEvidence(ctx, "sim-gpt-3.5-turbo",
+			dataset.CitationConfig{Entities: 400, Pairs: 1600, PositiveFrac: 0.24, Seed: 7})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationEvidence(rows))
+		return nil
+	}
+	ablateCascade := func() error {
+		rows, err := experiments.AblationCascade(ctx, "sim-cheap", "sim-gpt-4")
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationCascade(rows))
+		return nil
+	}
+	ablateTemplates := func() error {
+		rows, err := experiments.AblationTemplates(ctx, []string{"sim-gpt-3.5-turbo", "sim-claude"})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationTemplates(rows))
+		return nil
+	}
+	ablateFilter := func() error {
+		rows, err := experiments.AblationFilter(ctx, "sim-cheap", 7)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationFilter(rows))
+		return nil
+	}
+
+	switch cmd {
+	case "table1":
+		run("Table 1: sorting 20 flavours", table1)
+	case "table2":
+		run("Table 2: sorting 100 words (sort then insert)", table2)
+	case "table3":
+		run(fmt.Sprintf("Table 3: entity resolution (%d pairs)", *pairs), table3)
+	case "table4":
+		run("Table 4: missing-value imputation", table4)
+	case "ablate-batch":
+		run("Ablation A1: grouping batch size", ablateBatch)
+	case "ablate-quality":
+		run("Ablation A2: quality control", ablateQuality)
+	case "ablate-planner":
+		run("Ablation A3: planner", ablatePlanner)
+	case "ablate-repair":
+		run("Ablation A4: consistency repair", ablateRepair)
+	case "ablate-filter":
+		run("Ablation A5: filter policies", ablateFilter)
+	case "ablate-comparebatch":
+		run("Ablation A6: comparisons per prompt", ablateBatchCmp)
+	case "ablate-evidence":
+		run("Ablation A7: evidence-based flipping", ablateEvidence)
+	case "ablate-cascade":
+		run("Ablation A8: model cascade", ablateCascade)
+	case "ablate-templates":
+		run("Ablation A9: template brittleness", ablateTemplates)
+	case "all":
+		run("Table 1: sorting 20 flavours", table1)
+		run("Table 2: sorting 100 words (sort then insert)", table2)
+		run(fmt.Sprintf("Table 3: entity resolution (%d pairs)", *pairs), table3)
+		run("Table 4: missing-value imputation", table4)
+		run("Ablation A1: grouping batch size", ablateBatch)
+		run("Ablation A2: quality control", ablateQuality)
+		run("Ablation A3: planner", ablatePlanner)
+		run("Ablation A4: consistency repair", ablateRepair)
+		run("Ablation A5: filter policies", ablateFilter)
+		run("Ablation A6: comparisons per prompt", ablateBatchCmp)
+		run("Ablation A7: evidence-based flipping", ablateEvidence)
+		run("Ablation A8: model cascade", ablateCascade)
+		run("Ablation A9: template brittleness", ablateTemplates)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `declctl — regenerate the paper's tables and the repo's ablations
+
+usage: declctl <command> [flags]
+
+commands:
+  table1          Table 1: sorting 20 flavours via 3 strategies
+  table2          Table 2: sorting 100 words, sort-then-insert hybrid
+  table3          Table 3: entity resolution with transitivity (-pairs N)
+  table4          Table 4: imputation with hybrid LLM / k-NN strategies
+  ablate-batch    A1: grouping batch-size sweep
+  ablate-quality  A2: quality-control policies
+  ablate-planner  A3: automatic strategy selection
+  ablate-repair   A4: comparison-graph repair
+  ablate-filter   A5: adaptive filter policies
+  ablate-comparebatch  A6: comparisons-per-prompt sweep
+  ablate-evidence      A7: evidence-based edge flipping
+  ablate-cascade       A8: cheap->strong model cascade
+  ablate-templates     A9: comparison-template brittleness
+  all             run everything
+`)
+}

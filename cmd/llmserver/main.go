@@ -1,0 +1,44 @@
+// Command llmserver serves the built-in simulated models over an
+// OpenAI-compatible HTTP API (/v1/chat/completions, /v1/embeddings,
+// /v1/models), so the toolkit — or any OpenAI-style client — can run
+// against it as if it were a vendor endpoint.
+//
+// Usage:
+//
+//	llmserver [-addr :8080]
+//
+// All five stock profiles are served: sim-gpt-3.5-turbo, sim-gpt-4,
+// sim-claude, sim-claude-2, sim-cheap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/llm/httpapi"
+	"repro/internal/llm/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	registry := llm.NewRegistry()
+	for _, name := range []string{
+		"sim-gpt-3.5-turbo", "sim-gpt-4", "sim-claude", "sim-claude-2", "sim-cheap",
+	} {
+		registry.Register(sim.NewNamed(name))
+	}
+	server := httpapi.NewServer(registry, embed.Default())
+
+	log.Printf("llmserver: serving %v on %s", registry.Names(), *addr)
+	if err := http.ListenAndServe(*addr, server.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "llmserver: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+// Package declprompt is a declarative prompt-engineering toolkit: a Go
+// reproduction of "Revisiting Prompt Engineering via Declarative
+// Crowdsourcing" (CIDR 2024). Users state data-processing objectives —
+// sort, resolve, impute, filter, count, max, categorize, join — and the
+// engine decomposes them into unit LLM tasks under a selected strategy,
+// orchestrates the calls with budgets and caching, repairs noisy answers
+// with internal-consistency machinery, and reports exact token costs.
+//
+// The package is a curated facade over the internal packages; it is the
+// API the examples and benchmarks use:
+//
+//	model := declprompt.NewSimModel("sim-gpt-3.5-turbo")
+//	engine := declprompt.NewEngine(model)
+//	res, err := engine.Sort(ctx, declprompt.SortRequest{
+//	    Items:     items,
+//	    Criterion: "how chocolatey they are",
+//	    Strategy:  declprompt.SortPairwise,
+//	})
+//
+// Models are pluggable: NewSimModel returns the built-in simulated noisy
+// oracle (see DESIGN.md for the substitution rationale), NewHTTPModel
+// speaks the OpenAI-compatible wire protocol to a remote endpoint, and
+// any type implementing Model can be used directly.
+package declprompt
+
+import (
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/llm/httpapi"
+	"repro/internal/llm/sim"
+	"repro/internal/token"
+	"repro/internal/workflow"
+)
+
+// Model is the text-completion abstraction every strategy runs against.
+type Model = llm.Model
+
+// Request and Response are the wire types of a single model call.
+type (
+	Request  = llm.Request
+	Response = llm.Response
+)
+
+// Usage accounts tokens and calls; Price converts usage to dollars.
+type (
+	Usage = token.Usage
+	Price = token.Price
+)
+
+// Engine executes declarative operators against a model.
+type Engine = core.Engine
+
+// Option configures an Engine (budget, parallelism, retries, embedder).
+type Option = core.Option
+
+// Budget caps the dollar/token/call spend of a workflow.
+type Budget = workflow.Budget
+
+// Operator request/result types.
+type (
+	SortRequest        = core.SortRequest
+	SortResult         = core.SortResult
+	SortStrategy       = core.SortStrategy
+	Entity             = core.Entity
+	PairsRequest       = core.PairsRequest
+	PairsResult        = core.PairsResult
+	ResolveStrategy    = core.ResolveStrategy
+	DedupeRequest      = core.DedupeRequest
+	DedupeResult       = core.DedupeResult
+	DedupeStrategy     = core.DedupeStrategy
+	ImputeRequest      = core.ImputeRequest
+	ImputeResult       = core.ImputeResult
+	ImputeStrategy     = core.ImputeStrategy
+	FilterRequest      = core.FilterRequest
+	FilterResult       = core.FilterResult
+	FilterStrategy     = core.FilterStrategy
+	CountRequest       = core.CountRequest
+	CountResult        = core.CountResult
+	CountStrategy      = core.CountStrategy
+	MaxRequest         = core.MaxRequest
+	MaxResult          = core.MaxResult
+	MaxStrategy        = core.MaxStrategy
+	CategorizeRequest  = core.CategorizeRequest
+	CategorizeResult   = core.CategorizeResult
+	CategorizeStrategy = core.CategorizeStrategy
+	JoinRequest        = core.JoinRequest
+	JoinResult         = core.JoinResult
+	JoinStrategy       = core.JoinStrategy
+	FindRequest        = core.FindRequest
+	FindResult         = core.FindResult
+	FindStrategy       = core.FindStrategy
+	Plan               = core.Plan
+	Candidate          = core.Candidate
+)
+
+// Strategy constants, re-exported from the engine.
+const (
+	SortOnePrompt          = core.SortOnePrompt
+	SortRating             = core.SortRating
+	SortPairwise           = core.SortPairwise
+	SortPairwiseRepaired   = core.SortPairwiseRepaired
+	SortHybridInsert       = core.SortHybridInsert
+	SortRatingThenPairwise = core.SortRatingThenPairwise
+
+	ResolveDirect        = core.ResolveDirect
+	ResolveTransitive    = core.ResolveTransitive
+	ResolveBlockedDirect = core.ResolveBlockedDirect
+
+	DedupePairwise        = core.DedupePairwise
+	DedupeGroupBatch      = core.DedupeGroupBatch
+	DedupeBlockedPairwise = core.DedupeBlockedPairwise
+
+	ImputeKNN    = core.ImputeKNN
+	ImputeLLM    = core.ImputeLLM
+	ImputeHybrid = core.ImputeHybrid
+
+	FilterPerItem    = core.FilterPerItem
+	FilterMajority   = core.FilterMajority
+	FilterSequential = core.FilterSequential
+
+	CountPerItem = core.CountPerItem
+	CountEyeball = core.CountEyeball
+
+	MaxTournament           = core.MaxTournament
+	MaxRatingThenTournament = core.MaxRatingThenTournament
+
+	CategorizeDirect   = core.CategorizeDirect
+	CategorizeTwoPhase = core.CategorizeTwoPhase
+
+	JoinNestedLoop = core.JoinNestedLoop
+	JoinTransitive = core.JoinTransitive
+
+	FindScan       = core.FindScan
+	FindEmbedFirst = core.FindEmbedFirst
+)
+
+// ErrBadRequest reports an invalid operator request; ErrBudgetExhausted a
+// refused or over-budget call.
+var (
+	ErrBadRequest      = core.ErrBadRequest
+	ErrBudgetExhausted = workflow.ErrBudgetExhausted
+)
+
+// NewEngine returns an engine bound to the given model.
+func NewEngine(model Model, opts ...Option) *Engine {
+	return core.New(model, opts...)
+}
+
+// WithBudget enforces a budget on every engine call.
+func WithBudget(b *Budget) Option { return core.WithBudget(b) }
+
+// WithParallelism bounds concurrent model calls.
+func WithParallelism(p int) Option { return core.WithParallelism(p) }
+
+// NewBudget returns a budget; caps <= 0 are unlimited.
+func NewBudget(maxDollars float64, maxTokens, maxCalls int) *Budget {
+	return workflow.NewBudget(maxDollars, maxTokens, maxCalls)
+}
+
+// NewSimModel returns a built-in simulated noisy-oracle model. Stock
+// profiles: "sim-gpt-3.5-turbo", "sim-gpt-4", "sim-claude",
+// "sim-claude-2", "sim-cheap".
+func NewSimModel(name string) *sim.Oracle { return sim.NewNamed(name) }
+
+// NewHTTPModel returns a Model that speaks the OpenAI-compatible chat
+// protocol to baseURL (see cmd/llmserver).
+func NewHTTPModel(baseURL, model string) Model {
+	return httpapi.NewClient(baseURL, model, httpapi.ClientOptions{})
+}
+
+// PriceFor returns the per-token price table entry for a model name.
+func PriceFor(model string) Price { return token.PriceFor(model) }
+
+// CountTokens approximates the token count of a text the way the pricing
+// model does.
+func CountTokens(s string) int { return token.Count(s) }
+
+// NewEmbeddingIndex returns an exact k-NN index over the default
+// character-n-gram embedder, for callers building custom blocking or
+// neighbour-augmentation pipelines.
+func NewEmbeddingIndex() *embed.Index { return embed.NewIndex(embed.Default()) }

@@ -1,0 +1,48 @@
+// Run a declarative workload against a remote OpenAI-compatible endpoint
+// instead of the in-process simulator. Start the server first:
+//
+//	go run ./cmd/llmserver -addr :8080 &
+//	go run ./examples/httpclient -base http://127.0.0.1:8080
+//
+// Everything else — strategies, budgets, caching, consistency repair — is
+// identical; the engine does not care where the model lives.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	declprompt "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "OpenAI-compatible endpoint base URL")
+	modelName := flag.String("model", "sim-claude-2", "model name to request")
+	flag.Parse()
+
+	ctx := context.Background()
+	model := declprompt.NewHTTPModel(*base, *modelName)
+	engine := declprompt.NewEngine(model, declprompt.WithParallelism(8))
+
+	words := dataset.RandomWords(40, 7)
+	res, err := engine.Sort(ctx, declprompt.SortRequest{
+		Items:     words,
+		Criterion: "alphabetical order",
+		Strategy:  declprompt.SortHybridInsert,
+	})
+	if err != nil {
+		log.Fatalf("sort over HTTP: %v (is llmserver running at %s?)", err, *base)
+	}
+	fmt.Printf("sorted %d words over HTTP: missing=%d hallucinated=%d tokens=%d calls=%d\n",
+		len(res.Ranked), res.Missing, res.Hallucinated, res.Usage.Total(), res.Usage.Calls)
+	for i, w := range res.Ranked {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(res.Ranked)-10)
+			break
+		}
+		fmt.Printf("  %2d. %s\n", i+1, w)
+	}
+}

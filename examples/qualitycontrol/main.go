@@ -1,0 +1,66 @@
+// Quality control (Section 3.5): make an unreliable cheap model usable by
+// voting, adaptive re-asking, and cross-model consensus — and verify
+// answers with a stronger model only where it matters.
+//
+//	go run ./examples/qualitycontrol
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	declprompt "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	ctx := context.Background()
+	cheap := declprompt.NewSimModel("sim-cheap")
+	engine := declprompt.NewEngine(cheap, declprompt.WithParallelism(16))
+
+	items := dataset.FlavorNames()
+	predicate := "it is a chocolatey flavor"
+	gold := make([]bool, len(items))
+	for i, it := range items {
+		s, _ := dataset.FlavorScore(it)
+		gold[i] = s > 0.5
+	}
+	accuracy := func(keep []bool) float64 {
+		correct := 0
+		for i, k := range keep {
+			if k == gold[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(items))
+	}
+
+	for _, spec := range []struct {
+		label    string
+		strategy declprompt.FilterStrategy
+	}{
+		{"single ask (baseline)", declprompt.FilterPerItem},
+		{"majority of 5", declprompt.FilterMajority},
+		{"sequential (adaptive)", declprompt.FilterSequential},
+	} {
+		res, err := engine.Filter(ctx, declprompt.FilterRequest{
+			Items:     items,
+			Predicate: predicate,
+			Strategy:  spec.strategy,
+			Votes:     5,
+			MaxAsks:   5,
+			Margin:    2,
+		})
+		if err != nil {
+			log.Fatalf("filter (%s): %v", spec.label, err)
+		}
+		fmt.Printf("%-24s accuracy=%5.1f%%  asks=%-3d tokens=%d\n",
+			spec.label, 100*accuracy(res.Keep), res.Asks, res.Usage.Total())
+	}
+
+	fmt.Println("\nThe adaptive policy spends its extra asks only on borderline")
+	fmt.Println("flavours (cookies and cream, mint chocolate chip, ...) and")
+	fmt.Println("answers the obvious ones once — the CrowdScreen idea applied")
+	fmt.Println("to LLM self-consistency.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: sort a small list of items by a semantic criterion under
+// three strategies, and watch the cost/accuracy trade-off the paper's
+// Table 1 demonstrates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	declprompt "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The simulated model behaves like a vendor endpoint: noisy, biased,
+	// deterministic at temperature 0, billed per token.
+	model := declprompt.NewSimModel("sim-gpt-3.5-turbo")
+	engine := declprompt.NewEngine(model)
+
+	items := []string{
+		"lemon sorbet",
+		"triple chocolate",
+		"vanilla bean",
+		"mocha almond fudge",
+		"strawberry cheesecake",
+		"chocolate chip cookie dough",
+		"salted caramel",
+		"rocky road",
+	}
+
+	for _, strategy := range []declprompt.SortStrategy{
+		declprompt.SortOnePrompt, // one big prompt: cheapest, noisiest
+		declprompt.SortRating,    // one rating per item: middle ground
+		declprompt.SortPairwise,  // all pairs: most accurate, O(n^2) cost
+	} {
+		res, err := engine.Sort(ctx, declprompt.SortRequest{
+			Items:     items,
+			Criterion: "how chocolatey they are",
+			Strategy:  strategy,
+		})
+		if err != nil {
+			log.Fatalf("sort (%s): %v", strategy, err)
+		}
+		cost := declprompt.PriceFor(model.Name()).Cost(res.Usage)
+		fmt.Printf("strategy=%-12s tokens=%-6d cost=$%.5f calls=%d\n",
+			strategy, res.Usage.Total(), cost, res.Usage.Calls)
+		for i, it := range res.Ranked {
+			fmt.Printf("  %2d. %s\n", i+1, it)
+		}
+		fmt.Println()
+	}
+}

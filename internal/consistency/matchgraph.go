@@ -1,0 +1,147 @@
+package consistency
+
+import "sort"
+
+// MatchGraph records pairwise duplicate judgements (edges) between record
+// identifiers and answers connectivity queries. It implements the
+// transitivity repair of Section 3.3: if the oracle says A=C and C=B, then
+// A=B holds even when the direct A–B judgement was "no".
+type MatchGraph struct {
+	adj map[string]map[string]bool
+}
+
+// NewMatchGraph returns an empty match graph.
+func NewMatchGraph() *MatchGraph {
+	return &MatchGraph{adj: make(map[string]map[string]bool)}
+}
+
+// AddNode registers an isolated node (useful so Components can report
+// singletons).
+func (g *MatchGraph) AddNode(id string) {
+	if g.adj[id] == nil {
+		g.adj[id] = make(map[string]bool)
+	}
+}
+
+// AddMatch records an undirected duplicate judgement between a and b.
+func (g *MatchGraph) AddMatch(a, b string) {
+	if a == b {
+		g.AddNode(a)
+		return
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether a direct judgement links a and b.
+func (g *MatchGraph) HasEdge(a, b string) bool { return g.adj[a][b] }
+
+// Connected reports whether any path of duplicate judgements links a and
+// b — the transitive-evidence query used to flip erroneous "no" answers.
+func (g *MatchGraph) Connected(a, b string) bool {
+	if a == b {
+		_, ok := g.adj[a]
+		return ok
+	}
+	if g.adj[a] == nil || g.adj[b] == nil {
+		return false
+	}
+	// BFS from a.
+	visited := map[string]bool{a: true}
+	frontier := []string{a}
+	for len(frontier) > 0 {
+		var next []string
+		for _, u := range frontier {
+			for v := range g.adj[u] {
+				if v == b {
+					return true
+				}
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// Path returns one shortest path of judgements from a to b (inclusive of
+// both endpoints), or nil if none exists. Ties break lexicographically for
+// determinism.
+func (g *MatchGraph) Path(a, b string) []string {
+	if g.adj[a] == nil || g.adj[b] == nil {
+		return nil
+	}
+	if a == b {
+		return []string{a}
+	}
+	prev := map[string]string{a: a}
+	frontier := []string{a}
+	for len(frontier) > 0 {
+		var next []string
+		sort.Strings(frontier)
+		for _, u := range frontier {
+			nbrs := make([]string, 0, len(g.adj[u]))
+			for v := range g.adj[u] {
+				nbrs = append(nbrs, v)
+			}
+			sort.Strings(nbrs)
+			for _, v := range nbrs {
+				if _, seen := prev[v]; seen {
+					continue
+				}
+				prev[v] = u
+				if v == b {
+					// Reconstruct.
+					path := []string{b}
+					for cur := b; cur != a; {
+						cur = prev[cur]
+						path = append(path, cur)
+					}
+					// Reverse.
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// Components returns the connected components as sorted member lists,
+// ordered by their smallest member — the deduplicated entity groups.
+func (g *MatchGraph) Components() [][]string {
+	uf := NewUnionFind()
+	for a, nbrs := range g.adj {
+		uf.Add(a)
+		for b := range nbrs {
+			uf.Union(a, b)
+		}
+	}
+	groups := uf.Groups()
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Nodes returns all node identifiers in sorted order.
+func (g *MatchGraph) Nodes() []string {
+	out := make([]string, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

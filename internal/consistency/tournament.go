@@ -1,0 +1,201 @@
+package consistency
+
+import "sort"
+
+// Tournament aggregates (possibly repeated, possibly contradictory)
+// pairwise comparison outcomes over a fixed item set and derives a
+// consensus ranking. It implements the Section 3.3 idea that, under a
+// random-mistake model, the maximum-likelihood order is the one that
+// inverts the fewest observed comparisons (minimum feedback arc set).
+type Tournament struct {
+	items []string
+	index map[string]int
+	// wins[i][j] counts observations of "i beats j".
+	wins [][]int
+}
+
+// NewTournament creates a tournament over the given items. Duplicate item
+// names panic: comparison outcomes would be ambiguous.
+func NewTournament(items []string) *Tournament {
+	t := &Tournament{
+		items: append([]string(nil), items...),
+		index: make(map[string]int, len(items)),
+	}
+	for i, it := range items {
+		if _, dup := t.index[it]; dup {
+			panic("consistency: duplicate tournament item " + it)
+		}
+		t.index[it] = i
+	}
+	t.wins = make([][]int, len(items))
+	for i := range t.wins {
+		t.wins[i] = make([]int, len(items))
+	}
+	return t
+}
+
+// Record stores one observation that winner beat loser. Unknown items and
+// self-comparisons are ignored (the response parser may surface junk).
+func (t *Tournament) Record(winner, loser string) {
+	i, ok1 := t.index[winner]
+	j, ok2 := t.index[loser]
+	if !ok1 || !ok2 || i == j {
+		return
+	}
+	t.wins[i][j]++
+}
+
+// Items returns the item set in construction order.
+func (t *Tournament) Items() []string { return append([]string(nil), t.items...) }
+
+// CopelandOrder ranks items by total wins, descending — the simple
+// aggregation the paper's pairwise sorting strategy uses ("sorting based
+// on the total number of pairwise comparisons a given data item won, with
+// ties broken arbitrarily"). Ties break by construction order, making the
+// result deterministic.
+func (t *Tournament) CopelandOrder() []string {
+	type scored struct {
+		idx, wins int
+	}
+	s := make([]scored, len(t.items))
+	for i := range t.items {
+		s[i].idx = i
+		for j := range t.items {
+			s[i].wins += t.wins[i][j]
+		}
+	}
+	sort.SliceStable(s, func(a, b int) bool { return s[a].wins > s[b].wins })
+	out := make([]string, len(s))
+	for i, sc := range s {
+		out[i] = t.items[sc.idx]
+	}
+	return out
+}
+
+// Violations counts observed comparisons inverted by the given order
+// (items earlier in order are ranked higher). Orders containing unknown
+// items contribute nothing for those items.
+func (t *Tournament) Violations(order []string) int {
+	pos := make(map[string]int, len(order))
+	for i, it := range order {
+		pos[it] = i
+	}
+	v := 0
+	for i := range t.items {
+		for j := range t.items {
+			if t.wins[i][j] == 0 {
+				continue
+			}
+			pi, ok1 := pos[t.items[i]]
+			pj, ok2 := pos[t.items[j]]
+			if !ok1 || !ok2 {
+				continue
+			}
+			if pi > pj { // i beat j but is ranked below j
+				v += t.wins[i][j]
+			}
+		}
+	}
+	return v
+}
+
+// exactFASLimit bounds the item count for the exact O(2^n · n) dynamic
+// program. Beyond it, RepairOrder falls back to local search.
+const exactFASLimit = 16
+
+// RepairOrder returns a consensus ranking minimising the number of
+// inverted observations. For item sets up to exactFASLimit it solves the
+// minimum-feedback problem exactly with a bitmask dynamic program (the
+// maximum-likelihood order under the paper's random-mistake model); for
+// larger sets it starts from the Copeland order and applies adjacent-swap
+// local search until no single move reduces violations.
+func (t *Tournament) RepairOrder() []string {
+	n := len(t.items)
+	if n == 0 {
+		return nil
+	}
+	if n <= exactFASLimit {
+		return t.exactOrder()
+	}
+	return t.localSearchOrder()
+}
+
+// exactOrder solves minimum feedback arc set with a dynamic program over
+// subsets, building the order back-to-front: placing item j last within
+// subset S inverts every observed win of j over S\{j}, so
+// cost(S) = min over j in S of cost(S\{j}) + wins(j, S\{j}).
+func (t *Tournament) exactOrder() []string {
+	n := len(t.items)
+	full := (1 << n) - 1
+	cost := make([]int32, full+1)
+	choice := make([]int8, full+1)
+	const inf = int32(1 << 30)
+	for s := 1; s <= full; s++ {
+		cost[s] = inf
+		for j := 0; j < n; j++ {
+			if s&(1<<j) == 0 {
+				continue
+			}
+			rest := s &^ (1 << j)
+			// Placing j after every element of rest inverts j's wins over rest.
+			var penalty int32
+			for k := 0; k < n; k++ {
+				if rest&(1<<k) != 0 {
+					penalty += int32(t.wins[j][k])
+				}
+			}
+			if c := cost[rest] + penalty; c < cost[s] {
+				cost[s] = c
+				choice[s] = int8(j)
+			}
+		}
+	}
+	order := make([]string, 0, n)
+	for s := full; s != 0; {
+		j := int(choice[s])
+		order = append(order, t.items[j])
+		s &^= 1 << j
+	}
+	// order was built last-to-first; reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+func (t *Tournament) localSearchOrder() []string {
+	order := t.CopelandOrder()
+	idx := make([]int, len(order))
+	for i, it := range order {
+		idx[i] = t.index[it]
+	}
+	improved := true
+	for improved {
+		improved = false
+		for p := 0; p+1 < len(idx); p++ {
+			a, b := idx[p], idx[p+1]
+			// Swapping adjacent items only changes their mutual edges.
+			// Current inversion cost: wins[b][a] (b beat a but ranked lower).
+			// After swap: wins[a][b].
+			if t.wins[b][a] > t.wins[a][b] {
+				idx[p], idx[p+1] = b, a
+				improved = true
+			}
+		}
+	}
+	out := make([]string, len(idx))
+	for i, id := range idx {
+		out[i] = t.items[id]
+	}
+	return out
+}
+
+// MaxItem returns the consensus maximum: the first element of RepairOrder.
+// It returns "" for an empty tournament.
+func (t *Tournament) MaxItem() string {
+	order := t.RepairOrder()
+	if len(order) == 0 {
+		return ""
+	}
+	return order[0]
+}

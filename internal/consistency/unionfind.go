@@ -1,0 +1,82 @@
+// Package consistency implements the internal-consistency machinery of
+// Section 3.3 of the paper: transitive closure over noisy match graphs
+// (entity resolution), tournament repair for noisy pairwise comparisons
+// (sorting / max-finding), and the alignment-maximising insertion used by
+// the sort-then-insert hybrid strategy.
+package consistency
+
+// UnionFind is a classic disjoint-set structure over string identifiers
+// with path compression and union by size. The zero value is not usable;
+// construct with NewUnionFind.
+type UnionFind struct {
+	parent map[string]string
+	size   map[string]int
+	sets   int
+}
+
+// NewUnionFind returns an empty disjoint-set structure.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{
+		parent: make(map[string]string),
+		size:   make(map[string]int),
+	}
+}
+
+// Add registers id as a singleton set if it is not already present.
+func (u *UnionFind) Add(id string) {
+	if _, ok := u.parent[id]; ok {
+		return
+	}
+	u.parent[id] = id
+	u.size[id] = 1
+	u.sets++
+}
+
+// Find returns the canonical representative of id's set, adding id as a
+// singleton if it was unknown.
+func (u *UnionFind) Find(id string) string {
+	u.Add(id)
+	root := id
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for u.parent[id] != root {
+		id, u.parent[id] = u.parent[id], root
+	}
+	return root
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// actually happened (false if they were already together).
+func (u *UnionFind) Union(a, b string) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b string) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Groups returns the members of every set keyed by representative. Member
+// order within a group is unspecified; callers needing determinism should
+// sort.
+func (u *UnionFind) Groups() map[string][]string {
+	out := make(map[string][]string)
+	for id := range u.parent {
+		root := u.Find(id)
+		out[root] = append(out[root], id)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/prompt"
+	"repro/internal/quality"
+	"repro/internal/token"
+)
+
+// CategorizeStrategy selects how items are assigned to categories.
+type CategorizeStrategy string
+
+// Categorize strategies (Jain et al.'s two-stage clustering, Section 3.2).
+const (
+	// CategorizeDirect assigns each item to one of the given categories.
+	CategorizeDirect CategorizeStrategy = "direct"
+	// CategorizeTwoPhase first asks the model to propose a category
+	// scheme from a sample, then assigns every item to the discovered
+	// scheme — for when no category set is known upfront.
+	CategorizeTwoPhase CategorizeStrategy = "two-phase"
+)
+
+// CategorizeRequest asks for a category per item.
+type CategorizeRequest struct {
+	Items []string
+	// Categories is the closed category set (required for
+	// CategorizeDirect; ignored by CategorizeTwoPhase).
+	Categories []string
+	// Strategy selects the decomposition; default CategorizeDirect.
+	Strategy CategorizeStrategy
+	// SampleSize is the discovery sample for CategorizeTwoPhase
+	// (default 10).
+	SampleSize int
+	// MaxCategories caps the discovered scheme (default 5).
+	MaxCategories int
+	// Seed drives the discovery sample selection.
+	Seed int64
+}
+
+// CategorizeResult is the outcome of Categorize.
+type CategorizeResult struct {
+	// Assignments holds one category per item, index-aligned.
+	Assignments []string
+	// Categories is the category set used (given or discovered).
+	Categories []string
+	// Usage is the total token spend.
+	Usage token.Usage
+}
+
+// Categorize assigns every item to a category.
+func (e *Engine) Categorize(ctx context.Context, req CategorizeRequest) (CategorizeResult, error) {
+	if len(req.Items) == 0 {
+		return CategorizeResult{}, badRequestf("no items to categorize")
+	}
+	if req.Strategy == "" {
+		req.Strategy = CategorizeDirect
+	}
+	if req.SampleSize == 0 {
+		req.SampleSize = 10
+	}
+	if req.MaxCategories == 0 {
+		req.MaxCategories = 5
+	}
+	s := e.newSession()
+	categories := req.Categories
+	if req.Strategy == CategorizeTwoPhase {
+		sample := dataset.Sample(req.Items, req.SampleSize, req.Seed)
+		discovered, err := quality.AskWithRetry(ctx, s.model,
+			prompt.DiscoverCategories(sample, req.MaxCategories),
+			func(text string) ([]string, error) {
+				cats := prompt.ParseList(text)
+				if len(cats) == 0 {
+					return nil, prompt.ErrUnparseable
+				}
+				return cats, nil
+			}, e.retries)
+		if err != nil {
+			return CategorizeResult{}, fmt.Errorf("category discovery: %w", err)
+		}
+		categories = discovered
+	} else if req.Strategy != CategorizeDirect {
+		return CategorizeResult{}, badRequestf("unknown categorize strategy %q", req.Strategy)
+	}
+	if len(categories) == 0 {
+		return CategorizeResult{}, badRequestf("no categories to assign to")
+	}
+	assignments, err := e.mapIdx(ctx, len(req.Items), func(ctx context.Context, i int) (string, error) {
+		return quality.AskWithRetry(ctx, s.model, prompt.Categorize(req.Items[i], categories),
+			func(text string) (string, error) {
+				v, err := prompt.ParseValue(text)
+				if err != nil {
+					return "", err
+				}
+				// Snap to the closest legal category; reject junk so the
+				// retry loop re-asks.
+				for _, c := range categories {
+					if v == c {
+						return c, nil
+					}
+				}
+				return "", fmt.Errorf("%q not in category set: %w", v, prompt.ErrUnparseable)
+			}, e.retries)
+	})
+	if err != nil {
+		return CategorizeResult{}, fmt.Errorf("categorize: %w", err)
+	}
+	return CategorizeResult{
+		Assignments: assignments,
+		Categories:  categories,
+		Usage:       s.usage(),
+	}, nil
+}

@@ -1,0 +1,118 @@
+// Package core is the declarative prompt-engineering engine — the paper's
+// primary contribution. Users state a data-processing objective (sort,
+// resolve, impute, filter, count, max, categorize, join) over data items;
+// the engine decomposes it into unit LLM tasks under a chosen strategy,
+// orchestrates the calls through budget control and caching, repairs the
+// noisy answers with internal-consistency machinery, and aggregates a
+// final result with full cost accounting.
+//
+// Every operator offers several strategies spanning the cost/accuracy
+// trade-off of Section 3 of the paper; the planner (planner.go) profiles
+// strategies on a labelled validation sample and recommends one, the
+// AutoML-style workflow of Section 4.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workflow"
+)
+
+// ErrBadRequest reports an invalid operator request (empty input, unknown
+// strategy, nonsensical parameters).
+var ErrBadRequest = errors.New("core: bad request")
+
+// Engine binds operators to a model, budget, and execution policy.
+type Engine struct {
+	model       llm.Model
+	budget      *workflow.Budget
+	embedder    embed.Embedder
+	parallelism int
+	retries     int
+	cache       bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBudget enforces the given budget on every LLM call the engine
+// issues. Exhaustion surfaces as workflow.ErrBudgetExhausted.
+func WithBudget(b *workflow.Budget) Option {
+	return func(e *Engine) { e.budget = b }
+}
+
+// WithEmbedder overrides the embedding model used by k-NN-based
+// strategies (default: embed.Default()).
+func WithEmbedder(em embed.Embedder) Option {
+	return func(e *Engine) { e.embedder = em }
+}
+
+// WithParallelism bounds concurrent LLM calls (default 8).
+func WithParallelism(p int) Option {
+	return func(e *Engine) { e.parallelism = p }
+}
+
+// WithRetries sets the parse-retry attempts per unit task (default 3).
+func WithRetries(r int) Option {
+	return func(e *Engine) { e.retries = r }
+}
+
+// WithoutCache disables response caching (enabled by default; identical
+// unit tasks are answered once and re-served free, as in production
+// deployments).
+func WithoutCache() Option {
+	return func(e *Engine) { e.cache = false }
+}
+
+// New returns an engine using the given model.
+func New(model llm.Model, opts ...Option) *Engine {
+	e := &Engine{
+		model:       model,
+		budget:      workflow.Unlimited(),
+		embedder:    embed.Default(),
+		parallelism: 8,
+		retries:     3,
+		cache:       true,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Model returns the engine's underlying model (unwrapped).
+func (e *Engine) Model() llm.Model { return e.model }
+
+// session wraps the engine's model for one operator invocation: budget
+// admission, optional cache, and usage counting scoped to the operation.
+type session struct {
+	model    llm.Model
+	counting *llm.CountingModel
+}
+
+func (e *Engine) newSession() *session {
+	var m llm.Model = llm.NewCounting(workflow.NewBudgeted(e.model, e.budget))
+	counting := m.(*llm.CountingModel)
+	if e.cache {
+		m = workflow.NewCached(m)
+	}
+	return &session{model: m, counting: counting}
+}
+
+// usage returns the tokens actually spent in this session (cache hits are
+// free and therefore absent).
+func (s *session) usage() token.Usage { return s.counting.Total() }
+
+// mapIdx fans fn out over n indices with the engine's parallelism.
+func (e *Engine) mapIdx(ctx context.Context, n int, fn func(ctx context.Context, i int) (string, error)) ([]string, error) {
+	return workflow.Map(ctx, n, e.parallelism, fn)
+}
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}

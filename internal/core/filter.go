@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/prompt"
+	"repro/internal/quality"
+	"repro/internal/token"
+)
+
+// FilterStrategy selects how per-item predicate checks are answered.
+type FilterStrategy string
+
+// Filter strategies (the paper's filter primitive plus the Section 3.5
+// quality-control policies).
+const (
+	// FilterPerItem asks the model once per item.
+	FilterPerItem FilterStrategy = "per-item"
+	// FilterMajority samples each item Votes times at temperature and
+	// takes the majority — fixed-cost self-consistency.
+	FilterMajority FilterStrategy = "majority"
+	// FilterSequential uses a CrowdScreen-style policy: sample until one
+	// answer leads by Margin or MaxAsks is reached — adaptive cost,
+	// spending only on contested items.
+	FilterSequential FilterStrategy = "sequential"
+)
+
+// FilterRequest asks which items satisfy a predicate.
+type FilterRequest struct {
+	// Items are the data items to test.
+	Items []string
+	// Predicate is the condition in natural language.
+	Predicate string
+	// Strategy selects the policy; default FilterPerItem.
+	Strategy FilterStrategy
+	// Votes is the sample count for FilterMajority (default 5).
+	Votes int
+	// MaxAsks and Margin parameterise FilterSequential (defaults 7, 2).
+	MaxAsks int
+	Margin  int
+	// Temperature for repeated sampling (default 0.7).
+	Temperature float64
+}
+
+// FilterResult is the outcome of Filter.
+type FilterResult struct {
+	// Keep holds one decision per item, index-aligned.
+	Keep []bool
+	// Asks counts total model samples issued.
+	Asks int
+	// Usage is the total token spend.
+	Usage token.Usage
+}
+
+// Filter tests every item against the predicate.
+func (e *Engine) Filter(ctx context.Context, req FilterRequest) (FilterResult, error) {
+	if len(req.Items) == 0 {
+		return FilterResult{}, badRequestf("no items to filter")
+	}
+	if req.Predicate == "" {
+		return FilterResult{}, badRequestf("empty predicate")
+	}
+	if req.Strategy == "" {
+		req.Strategy = FilterPerItem
+	}
+	if req.Votes == 0 {
+		req.Votes = 5
+	}
+	if req.MaxAsks == 0 {
+		req.MaxAsks = 7
+	}
+	if req.Margin == 0 {
+		req.Margin = 2
+	}
+	if req.Temperature == 0 {
+		req.Temperature = 0.7
+	}
+	s := e.newSession()
+	res := FilterResult{Keep: make([]bool, len(req.Items))}
+	answers, err := e.mapIdx(ctx, len(req.Items), func(ctx context.Context, i int) (string, error) {
+		p := prompt.FilterItem(req.Items[i], req.Predicate)
+		var (
+			keep bool
+			asks int
+			err  error
+		)
+		switch req.Strategy {
+		case FilterPerItem:
+			keep, err = quality.AskWithRetry(ctx, s.model, p, prompt.ParseYesNo, e.retries)
+			asks = 1
+		case FilterMajority:
+			var yes, no int
+			keep, yes, no, err = quality.MajorityYesNo(ctx, s.model, p, req.Votes, req.Temperature)
+			asks = yes + no
+		case FilterSequential:
+			keep, asks, err = quality.SequentialYesNo(ctx, s.model, p, req.MaxAsks, req.Margin, req.Temperature)
+		default:
+			return "", badRequestf("unknown filter strategy %q", req.Strategy)
+		}
+		if err != nil {
+			return "", err
+		}
+		if keep {
+			return fmt.Sprintf("Y%d", asks), nil
+		}
+		return fmt.Sprintf("N%d", asks), nil
+	})
+	if err != nil {
+		return FilterResult{}, fmt.Errorf("filter: %w", err)
+	}
+	for i, a := range answers {
+		res.Keep[i] = a[0] == 'Y'
+		var asks int
+		fmt.Sscanf(a[1:], "%d", &asks)
+		res.Asks += asks
+	}
+	res.Usage = s.usage()
+	return res, nil
+}
+
+// CountStrategy selects how the Count operator estimates.
+type CountStrategy string
+
+// Count strategies (Marcus et al.'s counting task types, Section 3.1).
+const (
+	// CountPerItem checks every item individually — exact modulo
+	// per-item noise, O(n) calls.
+	CountPerItem CountStrategy = "per-item"
+	// CountEyeball shows the model whole batches and asks for a
+	// percentage estimate — O(n / batch) calls, noisier.
+	CountEyeball CountStrategy = "eyeball"
+)
+
+// CountRequest asks how many items satisfy a predicate.
+type CountRequest struct {
+	Items     []string
+	Predicate string
+	// Strategy selects the decomposition; default CountEyeball.
+	Strategy CountStrategy
+	// BatchSize is items per eyeball prompt (default 20).
+	BatchSize int
+}
+
+// CountResult is the outcome of Count.
+type CountResult struct {
+	// Count is the estimated number of items satisfying the predicate.
+	Count int
+	// Fraction is Count / len(Items).
+	Fraction float64
+	// Usage is the total token spend.
+	Usage token.Usage
+}
+
+// Count estimates how many items satisfy the predicate.
+func (e *Engine) Count(ctx context.Context, req CountRequest) (CountResult, error) {
+	if len(req.Items) == 0 {
+		return CountResult{}, badRequestf("no items to count")
+	}
+	if req.Predicate == "" {
+		return CountResult{}, badRequestf("empty predicate")
+	}
+	if req.Strategy == "" {
+		req.Strategy = CountEyeball
+	}
+	if req.BatchSize == 0 {
+		req.BatchSize = 20
+	}
+	s := e.newSession()
+	switch req.Strategy {
+	case CountPerItem:
+		fr, err := e.Filter(ctx, FilterRequest{Items: req.Items, Predicate: req.Predicate, Strategy: FilterPerItem})
+		if err != nil {
+			return CountResult{}, err
+		}
+		n := 0
+		for _, k := range fr.Keep {
+			if k {
+				n++
+			}
+		}
+		return CountResult{
+			Count:    n,
+			Fraction: float64(n) / float64(len(req.Items)),
+			Usage:    fr.Usage,
+		}, nil
+	case CountEyeball:
+		var batches [][]string
+		for start := 0; start < len(req.Items); start += req.BatchSize {
+			end := start + req.BatchSize
+			if end > len(req.Items) {
+				end = len(req.Items)
+			}
+			batches = append(batches, req.Items[start:end])
+		}
+		fracs, err := e.mapIdx(ctx, len(batches), func(ctx context.Context, i int) (string, error) {
+			f, err := quality.AskWithRetry(ctx, s.model, prompt.CountBatch(batches[i], req.Predicate),
+				prompt.ParsePercent, e.retries)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%f", f), nil
+		})
+		if err != nil {
+			return CountResult{}, fmt.Errorf("eyeball count: %w", err)
+		}
+		total := 0.0
+		for i, fs := range fracs {
+			var f float64
+			fmt.Sscanf(fs, "%f", &f)
+			total += f * float64(len(batches[i]))
+		}
+		frac := total / float64(len(req.Items))
+		return CountResult{
+			Count:    int(math.Round(total)),
+			Fraction: frac,
+			Usage:    s.usage(),
+		}, nil
+	default:
+		return CountResult{}, badRequestf("unknown count strategy %q", req.Strategy)
+	}
+}

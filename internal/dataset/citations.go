@@ -1,0 +1,361 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Citation is one bibliographic record. Entity identifies the real-world
+// paper the record refers to: two citations with the same Entity are
+// duplicates. The generator mimics the DBLP / Google-Scholar corpus used
+// in Table 3, where the same paper appears under several noisy surface
+// forms (truncated titles, typos, venue abbreviations, dropped authors).
+type Citation struct {
+	ID      string
+	Title   string
+	Authors string
+	Venue   string
+	Year    string
+	// Entity is the ground-truth paper identifier.
+	Entity int
+}
+
+// Record converts the citation to a generic dataset record.
+func (c Citation) Record() Record {
+	return Record{
+		ID: c.ID,
+		Fields: []Field{
+			{"title", c.Title},
+			{"authors", c.Authors},
+			{"venue", c.Venue},
+			{"year", c.Year},
+		},
+	}
+}
+
+// Text renders the citation as one line, the form embedded in match prompts.
+func (c Citation) Text() string {
+	return fmt.Sprintf("%s. %s. %s, %s", c.Authors, c.Title, c.Venue, c.Year)
+}
+
+// CitationPair is one labelled comparison question: indices into the
+// corpus record slice plus the gold duplicate label.
+type CitationPair struct {
+	A, B  int
+	Match bool
+}
+
+// CitationCorpus bundles the generated records with the labelled pair set.
+type CitationCorpus struct {
+	Records []Citation
+	Pairs   []CitationPair
+}
+
+// CitationConfig controls corpus generation.
+type CitationConfig struct {
+	// Entities is the number of distinct real-world papers.
+	Entities int
+	// Pairs is the size of the labelled validation pair set.
+	Pairs int
+	// PositiveFrac is the fraction of pairs that are true duplicates.
+	PositiveFrac float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultCitationConfig reproduces the scale of the paper's validation
+// slice: 5742 labelled pairs over a corpus with sparse duplicates.
+func DefaultCitationConfig() CitationConfig {
+	return CitationConfig{Entities: 1200, Pairs: 5742, PositiveFrac: 0.24, Seed: 7}
+}
+
+var (
+	titleNouns = []string{
+		"indexing", "positions", "queries", "streams", "joins", "views",
+		"transactions", "caching", "learning", "mining", "clustering",
+		"ranking", "sampling", "graphs", "trees", "skyline", "cubes",
+		"provenance", "workflows", "schemas", "integration", "cleaning",
+		"deduplication", "crowdsourcing", "optimization", "estimation",
+		"compression", "partitions", "replication", "consistency",
+	}
+	titleAdjs = []string{
+		"continuous", "approximate", "scalable", "efficient", "adaptive",
+		"distributed", "parallel", "incremental", "probabilistic", "dynamic",
+		"robust", "declarative", "interactive", "streaming", "secure",
+		"federated", "hierarchical", "semantic", "temporal", "spatial",
+	}
+	titleConnectives = []string{"of", "for", "over", "with", "in", "via", "under"}
+	lastNames        = []string{
+		"Wang", "Li", "Chen", "Garcia", "Kumar", "Smith", "Johnson", "Müller",
+		"Silva", "Kim", "Patel", "Nguyen", "Brown", "Davis", "Lopez", "Sato",
+		"Ivanov", "Hansen", "Rossi", "Novak", "Dubois", "Fischer", "Olsen",
+		"Kowalski", "Haddad", "Okafor", "Mehta", "Tanaka", "Costa", "Weber",
+	}
+	venuePairs = [][]string{
+		{"SIGMOD Conference", "SIGMOD", "Proc. SIGMOD", "ACM SIGMOD"},
+		{"VLDB", "PVLDB", "Proc. VLDB Endow.", "Very Large Data Bases"},
+		{"ICDE", "Proc. ICDE", "Int. Conf. on Data Engineering"},
+		{"EDBT", "Proc. EDBT", "Extending Database Technology"},
+		{"CIKM", "Proc. CIKM", "Conf. on Information and Knowledge Management"},
+		{"KDD", "SIGKDD", "Proc. KDD", "Knowledge Discovery and Data Mining"},
+		{"CIDR", "Proc. CIDR", "Conf. on Innovative Data Systems Research"},
+		{"TKDE", "IEEE Trans. Knowl. Data Eng."},
+		{"TODS", "ACM Trans. Database Syst."},
+		{"WWW", "Proc. WWW", "World Wide Web Conference"},
+	}
+)
+
+// GenerateCitations builds a deterministic synthetic citation corpus.
+//
+// Each entity receives a cluster of 1–5 surface forms: the first is the
+// clean canonical record; the rest are perturbed through the channels
+// observed in the real corpus (title truncation with an ellipsis, character
+// typos, venue abbreviation, author initialisation or dropping, case drift,
+// missing year). Labelled pairs mix true duplicate pairs with hard
+// negatives (entities sharing title vocabulary) and random negatives.
+func GenerateCitations(cfg CitationConfig) *CitationCorpus {
+	if cfg.Entities <= 1 || cfg.Pairs <= 0 {
+		panic("dataset: invalid CitationConfig")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	corpus := &CitationCorpus{}
+
+	// byEntity[e] lists record indices for entity e.
+	byEntity := make([][]int, cfg.Entities)
+	type owned struct {
+		entity  int
+		title   string
+		venue   string
+		authors string
+	}
+	var originals []owned // earlier canonical papers, for confusable entities
+	// confusablePairs links each confusable entity to the entity it apes.
+	var confusablePairs [][2]int
+	for e := 0; e < cfg.Entities; e++ {
+		canon := makeCanonicalCitation(rng, e)
+		// A slice of entities are "confusable": distinct papers that reuse
+		// an earlier paper's title and venue (think extended versions,
+		// reprints, or plain title collisions with different author teams).
+		// These are the hard negatives that cost the matcher its perfect
+		// precision.
+		if len(originals) > 0 && rng.Float64() < 0.06 {
+			src := originals[rng.Intn(len(originals))]
+			canon.Title = src.title
+			canon.Venue = src.venue
+			if rng.Float64() < 0.5 {
+				// Extended-version flavour: same author team, same title,
+				// later year — labelled distinct, surface-near-identical.
+				canon.Authors = src.authors
+			}
+			confusablePairs = append(confusablePairs, [2]int{e, src.entity})
+		} else {
+			originals = append(originals, owned{
+				entity: e, title: canon.Title, venue: canon.Venue, authors: canon.Authors,
+			})
+		}
+		size := clusterSize(rng)
+		for m := 0; m < size; m++ {
+			var c Citation
+			if m == 0 {
+				c = canon
+			} else {
+				c = perturbCitation(rng, canon, m)
+			}
+			c.ID = fmt.Sprintf("cit-%04d-%d", e, m)
+			c.Entity = e
+			byEntity[e] = append(byEntity[e], len(corpus.Records))
+			corpus.Records = append(corpus.Records, c)
+		}
+	}
+
+	// Positive pairs: all within-cluster pairs, shuffled, truncated.
+	var positives []CitationPair
+	for _, members := range byEntity {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				positives = append(positives, CitationPair{A: members[i], B: members[j], Match: true})
+			}
+		}
+	}
+	rng.Shuffle(len(positives), func(i, j int) { positives[i], positives[j] = positives[j], positives[i] })
+
+	wantPos := int(cfg.PositiveFrac * float64(cfg.Pairs))
+	if wantPos > len(positives) {
+		wantPos = len(positives)
+	}
+	corpus.Pairs = append(corpus.Pairs, positives[:wantPos]...)
+
+	seen := make(map[[2]int]bool, cfg.Pairs)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for _, p := range corpus.Pairs {
+		seen[key(p.A, p.B)] = true
+	}
+	// Confusable negatives first: one cross pair per confusable entity,
+	// between a member of each cluster.
+	for _, cp := range confusablePairs {
+		if len(corpus.Pairs) >= cfg.Pairs {
+			break
+		}
+		ma, mb := byEntity[cp[0]], byEntity[cp[1]]
+		a := ma[rng.Intn(len(ma))]
+		b := mb[rng.Intn(len(mb))]
+		k := key(a, b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		corpus.Pairs = append(corpus.Pairs, CitationPair{A: a, B: b, Match: false})
+	}
+	// Remaining negatives: half hard (shared title vocabulary), half random.
+	for len(corpus.Pairs) < cfg.Pairs {
+		a := rng.Intn(len(corpus.Records))
+		b := rng.Intn(len(corpus.Records))
+		if a == b || corpus.Records[a].Entity == corpus.Records[b].Entity {
+			continue
+		}
+		// Bias toward hard negatives: retry until title words overlap for
+		// half of the draws.
+		if rng.Intn(2) == 0 && !titleOverlap(corpus.Records[a].Title, corpus.Records[b].Title) {
+			continue
+		}
+		k := key(a, b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		corpus.Pairs = append(corpus.Pairs, CitationPair{A: a, B: b, Match: false})
+	}
+	rng.Shuffle(len(corpus.Pairs), func(i, j int) {
+		corpus.Pairs[i], corpus.Pairs[j] = corpus.Pairs[j], corpus.Pairs[i]
+	})
+	return corpus
+}
+
+func makeCanonicalCitation(rng *rand.Rand, entity int) Citation {
+	nWords := 4 + rng.Intn(4)
+	words := make([]string, 0, nWords)
+	for i := 0; i < nWords; i++ {
+		switch {
+		case i%3 == 1:
+			words = append(words, titleConnectives[rng.Intn(len(titleConnectives))])
+		case i%3 == 2:
+			words = append(words, titleAdjs[rng.Intn(len(titleAdjs))])
+		default:
+			words = append(words, titleNouns[rng.Intn(len(titleNouns))])
+		}
+	}
+	nAuth := 1 + rng.Intn(3)
+	auths := make([]string, nAuth)
+	for i := range auths {
+		auths[i] = fmt.Sprintf("%c. %s", 'A'+rune(rng.Intn(26)), lastNames[rng.Intn(len(lastNames))])
+	}
+	venue := venuePairs[rng.Intn(len(venuePairs))]
+	return Citation{
+		Title:   strings.Join(words, " "),
+		Authors: strings.Join(auths, ", "),
+		Venue:   venue[0],
+		Year:    fmt.Sprintf("%d", 1995+rng.Intn(25)),
+	}
+}
+
+// clusterSize draws the number of surface forms per entity. The
+// distribution is skewed toward singletons, matching the sparse duplicate
+// structure of the real validation slice, but leaves enough ≥3 clusters
+// for transitive evidence to exist.
+func clusterSize(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.48:
+		return 1
+	case r < 0.78:
+		return 2
+	case r < 0.92:
+		return 3
+	case r < 0.98:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// perturbCitation derives a noisy surface form of the canonical record.
+// The member index m controls severity: later members are noisier, giving
+// each cluster a mix of easy and hard duplicate pairs.
+func perturbCitation(rng *rand.Rand, c Citation, m int) Citation {
+	out := c
+	severity := 1 + m // 2..5 perturbation attempts
+	for i := 0; i < severity; i++ {
+		switch rng.Intn(6) {
+		case 0: // truncate title with ellipsis, as in the Scholar corpus
+			if r := []rune(out.Title); len(r) > 18 {
+				cut := 14 + rng.Intn(len(r)-16)
+				out.Title = string(r[:cut]) + "..."
+			}
+		case 1: // character typo in the title
+			out.Title = typo(rng, out.Title)
+		case 2: // venue abbreviation swap
+			for _, group := range venuePairs {
+				for _, v := range group {
+					if v == out.Venue {
+						out.Venue = group[rng.Intn(len(group))]
+						break
+					}
+				}
+			}
+		case 3: // drop trailing authors or initialise
+			if idx := strings.Index(out.Authors, ", "); idx > 0 && rng.Intn(2) == 0 {
+				out.Authors = out.Authors[:idx] + " et al."
+			}
+		case 4: // case drift
+			if rng.Intn(2) == 0 {
+				out.Title = strings.ToUpper(out.Title[:1]) + out.Title[1:]
+			} else {
+				out.Title = strings.ToLower(out.Title)
+			}
+		case 5: // missing year
+			out.Year = ""
+		}
+	}
+	return out
+}
+
+// typo applies one random character edit (swap, drop, or duplicate).
+func typo(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) < 4 {
+		return s
+	}
+	i := 1 + rng.Intn(len(r)-2)
+	switch rng.Intn(3) {
+	case 0: // swap adjacent
+		r[i], r[i+1] = r[i+1], r[i]
+		return string(r)
+	case 1: // drop
+		return string(r[:i]) + string(r[i+1:])
+	default: // duplicate
+		return string(r[:i]) + string(r[i]) + string(r[i:])
+	}
+}
+
+func titleOverlap(a, b string) bool {
+	wa := strings.Fields(strings.ToLower(a))
+	wb := strings.Fields(strings.ToLower(b))
+	set := make(map[string]bool, len(wa))
+	for _, w := range wa {
+		if len(w) > 4 { // content words only
+			set[w] = true
+		}
+	}
+	for _, w := range wb {
+		if set[w] {
+			return true
+		}
+	}
+	return false
+}

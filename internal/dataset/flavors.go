@@ -1,0 +1,85 @@
+package dataset
+
+import "sort"
+
+// Flavor is one ice-cream flavour with its latent chocolateyness score in
+// [0, 1]. The score is the ground truth used by Table 1: flavours whose
+// names begin with "chocolate" score highest, cocoa-adjacent flavours sit
+// in the middle, and fruit flavours score lowest — matching the
+// human-labelled ordering described in the paper.
+type Flavor struct {
+	Name string
+	// Chocolateyness is the latent ground-truth score in [0, 1].
+	Chocolateyness float64
+}
+
+// flavors is the fixed 20-flavour benchmark set. Scores were assigned from
+// an ingredient lexicon: explicit chocolate content dominates, then cocoa
+// derivatives (fudge, brownie, mocha), then neutral creams, then fruit.
+var flavors = []Flavor{
+	{"chocolate fudge brownie", 1.00},
+	{"triple chocolate", 0.98},
+	{"chocolate chip cookie dough", 0.90},
+	{"chocolate hazelnut swirl", 0.88},
+	{"dark chocolate orange", 0.85},
+	{"mocha almond fudge", 0.78},
+	{"rocky road", 0.72},
+	{"brownie batter", 0.70},
+	{"cookies and cream", 0.58},
+	{"mint chocolate chip", 0.55},
+	{"tiramisu", 0.45},
+	{"salted caramel", 0.35},
+	{"butter pecan", 0.30},
+	{"vanilla bean", 0.22},
+	{"pistachio", 0.18},
+	{"green tea", 0.12},
+	{"strawberry cheesecake", 0.10},
+	{"peach cobbler", 0.06},
+	{"raspberry ripple", 0.04},
+	{"lemon sorbet", 0.00},
+}
+
+// Flavors returns the 20-flavour benchmark in a fixed presentation order
+// (alphabetical), so the ordering given to the LLM carries no signal.
+func Flavors() []Flavor {
+	out := make([]Flavor, len(flavors))
+	copy(out, flavors)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FlavorGroundTruth returns flavour names ordered from most to least
+// chocolatey — the human-verified ground-truth ranking of Table 1.
+func FlavorGroundTruth() []string {
+	out := make([]Flavor, len(flavors))
+	copy(out, flavors)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Chocolateyness > out[j].Chocolateyness
+	})
+	names := make([]string, len(out))
+	for i, f := range out {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// FlavorScore returns the latent chocolateyness of the named flavour and
+// whether the flavour is part of the benchmark set.
+func FlavorScore(name string) (float64, bool) {
+	for _, f := range flavors {
+		if f.Name == name {
+			return f.Chocolateyness, true
+		}
+	}
+	return 0, false
+}
+
+// FlavorNames returns the flavour names in presentation (alphabetical) order.
+func FlavorNames() []string {
+	fs := Flavors()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}

@@ -1,0 +1,354 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ImputationDataset is a record collection with one designated target
+// attribute to impute. Train records keep their target value (they are the
+// ground-truth pool for k-NN and for few-shot examples); Test records are
+// the evaluation queries — callers mask the target field before prompting.
+type ImputationDataset struct {
+	// Name identifies the dataset ("restaurants" or "buy").
+	Name string
+	// TargetField is the attribute being imputed.
+	TargetField string
+	// Train records retain ground truth and seed the non-LLM strategies.
+	Train []Record
+	// Test records are evaluated; their TargetField value is the gold label.
+	Test []Record
+}
+
+// Gold returns the ground-truth target values of the test records, in order.
+func (d *ImputationDataset) Gold() []string {
+	out := make([]string, len(d.Test))
+	for i, r := range d.Test {
+		v, _ := r.Get(d.TargetField)
+		out[i] = v
+	}
+	return out
+}
+
+// city models one metro area: the gold label used in the dataset, the
+// display form a general-knowledge LLM would naturally produce (which may
+// disagree with the gold form — the formatting-drift failure mode the
+// paper reports), area codes, street pool, and cuisine bias.
+type city struct {
+	gold    string
+	display string
+	// distinct is the probability that a record carries city-distinctive
+	// address evidence (street / neighbourhood tag). Large metros are
+	// highly recognisable — exactly the places where an LLM's canonical
+	// city form drifts from the dataset's gold form, which is what makes
+	// the paper's hybrid effective: k-NN confidently (and format-
+	// correctly) handles the records where the zero-shot LLM would drift.
+	distinct  float64
+	areaCodes []string
+	streets   []string
+	districts []string
+	cuisines  []string
+}
+
+var cities = []city{
+	{"new york", "New York City", 0.88, []string{"212", "646"},
+		[]string{"broadway", "lexington ave.", "mulberry st.", "houston st.", "5th ave."},
+		[]string{"midtown", "soho", "tribeca"},
+		[]string{"delis", "pizza", "steakhouses", "french"}},
+	{"los angeles", "LA", 0.88, []string{"213", "310"},
+		[]string{"sunset blvd.", "wilshire blvd.", "melrose ave.", "figueroa st."},
+		[]string{"hollywood", "venice", "silver lake"},
+		[]string{"californian", "mexican", "sushi", "health food"}},
+	{"san francisco", "San Francisco", 0.45, []string{"415"},
+		[]string{"mission st.", "geary blvd.", "columbus ave.", "market st."},
+		[]string{"mission district", "nob hill", "the castro"},
+		[]string{"seafood", "chinese", "italian", "vegetarian"}},
+	{"atlanta", "Atlanta", 0.45, []string{"404", "770"},
+		[]string{"peachtree st.", "ponce de leon ave.", "piedmont ave."},
+		[]string{"buckhead", "midtown atl", "decatur"},
+		[]string{"southern", "bbq", "soul food", "american"}},
+	{"chicago", "Chicago", 0.45, []string{"312", "773"},
+		[]string{"michigan ave.", "clark st.", "halsted st.", "wabash ave."},
+		[]string{"the loop", "wicker park", "lincoln park"},
+		[]string{"steakhouses", "hot dogs", "polish", "pizza"}},
+	{"new orleans", "New Orleans", 0.45, []string{"504"},
+		[]string{"bourbon st.", "magazine st.", "canal st.", "royal st."},
+		[]string{"french quarter", "garden district", "uptown nola"},
+		[]string{"cajun", "creole", "seafood", "southern"}},
+	{"las vegas", "Las Vegas", 0.45, []string{"702"},
+		[]string{"las vegas blvd.", "fremont st.", "paradise rd."},
+		[]string{"the strip", "downtown lv", "summerlin"},
+		[]string{"buffets", "steakhouses", "french", "american"}},
+	{"seattle", "Seattle", 0.45, []string{"206"},
+		[]string{"pike st.", "pine st.", "1st ave.", "rainier ave."},
+		[]string{"capitol hill", "ballard", "fremont"},
+		[]string{"seafood", "coffeehouses", "asian", "american"}},
+}
+
+var restaurantNameParts = struct{ first, second []string }{
+	first: []string{
+		"golden", "blue", "royal", "little", "grand", "old", "silver",
+		"lucky", "corner", "harbor", "garden", "sunset", "union", "iron",
+		"copper", "market", "river", "velvet", "crystal", "maple",
+	},
+	second: []string{
+		"dragon", "bistro", "grill", "kitchen", "cafe", "tavern", "house",
+		"table", "spoon", "oven", "terrace", "cellar", "diner", "palace",
+		"brasserie", "cantina", "trattoria", "chophouse", "noodle bar",
+		"oyster bar",
+	},
+}
+
+// manufacturer models one brand for the Buy dataset: the gold label form,
+// the form an LLM naturally produces (formatting drift, e.g. "TomTom" vs
+// "Tom Tom"), a model-number prefix the LLM recognises (as real LLMs
+// recognise vendor SKU patterns), a sampling weight, and the product
+// categories the brand sells. Categories deliberately overlap across
+// brands so description evidence is ambiguous.
+type manufacturer struct {
+	gold        string
+	display     string
+	modelPrefix string
+	weight      float64
+	products    []string
+}
+
+var manufacturers = []manufacturer{
+	{"Sony", "Sony", "SN", 1.4, []string{"lcd tv", "digital camera", "mp3 player", "blu-ray player", "home theater system"}},
+	{"Tom Tom", "TomTom", "TT", 0.45, []string{"gps navigator", "car mount kit"}},
+	{"Elgato", "Elgato Systems", "EG", 0.35, []string{"video capture device", "tv tuner"}},
+	{"Panasonic", "Panasonic", "PN", 1.2, []string{"lcd tv", "digital camera", "dvd recorder", "cordless phone"}},
+	{"Canon", "Canon", "CN", 1.2, []string{"digital camera", "inkjet printer", "photo scanner", "camcorder"}},
+	{"Garmin", "Garmin", "GR", 0.9, []string{"gps navigator", "fitness watch", "marine chartplotter"}},
+	{"Belkin", "Belkin", "BK", 0.9, []string{"wireless router", "surge protector", "usb hub"}},
+	{"Logitech", "Logitech", "LG", 1.0, []string{"wireless mouse", "webcam", "gaming keyboard", "speaker system"}},
+	{"Netgear", "NETGEAR", "NG", 0.9, []string{"wireless router", "gigabit switch", "cable modem"}},
+	{"Samsung", "Samsung", "SM", 1.3, []string{"lcd tv", "lcd monitor", "laser printer", "camcorder"}},
+	{"D-Link", "D-Link", "DL", 0.8, []string{"gigabit switch", "ip camera", "wireless router"}},
+	{"Philips", "Philips", "PH", 1.0, []string{"lcd tv", "dvd recorder", "digital photo frame"}},
+}
+
+// LLMCityForm returns the display (general-knowledge) form of the given
+// gold city label, and whether the city is known. The simulator uses this
+// to reproduce formatting drift.
+func LLMCityForm(gold string) (string, bool) {
+	for _, c := range cities {
+		if c.gold == gold {
+			return c.display, true
+		}
+	}
+	return "", false
+}
+
+// CityForAreaCode returns the gold city label whose metro owns the given
+// phone area code.
+func CityForAreaCode(code string) (string, bool) {
+	for _, c := range cities {
+		for _, ac := range c.areaCodes {
+			if ac == code {
+				return c.gold, true
+			}
+		}
+	}
+	return "", false
+}
+
+// LLMManufacturerForm returns the display form of a gold manufacturer
+// label, and whether the brand is known.
+func LLMManufacturerForm(gold string) (string, bool) {
+	for _, m := range manufacturers {
+		if m.gold == gold {
+			return m.display, true
+		}
+	}
+	return "", false
+}
+
+// ManufacturerForNameWord scans a product name for a known brand token and
+// returns the gold manufacturer label. Matching is case-insensitive on the
+// display or gold form appearing anywhere in the product name.
+func ManufacturerForNameWord(productName string) (string, bool) {
+	lower := strings.ToLower(productName)
+	for _, m := range manufacturers {
+		if strings.Contains(lower, strings.ToLower(m.gold)) ||
+			strings.Contains(lower, strings.ToLower(m.display)) {
+			return m.gold, true
+		}
+	}
+	return "", false
+}
+
+// sharedStreets appear in every metro; only a minority of addresses use a
+// city-distinctive street, so neighbourhood evidence is informative but
+// noisy — the regime in which k-NN imputation lands near the paper's 73%.
+var sharedStreets = []string{
+	"main st.", "oak ave.", "2nd ave.", "park blvd.", "washington st.",
+	"maple dr.", "center st.", "lake ave.", "hill rd.", "college ave.",
+}
+
+// GenerateRestaurants builds the synthetic Restaurants imputation dataset:
+// records with name/address/city/phone/cuisine where "city" is the target.
+// The test partition has exactly testN records (the paper's slice has 86).
+func GenerateRestaurants(trainN, testN int, seed int64) *ImputationDataset {
+	rng := rand.New(rand.NewSource(seed))
+	total := trainN + testN
+	records := make([]Record, 0, total)
+	for i := 0; i < total; i++ {
+		c := cities[rng.Intn(len(cities))]
+		name := fmt.Sprintf("%s %s",
+			restaurantNameParts.first[rng.Intn(len(restaurantNameParts.first))],
+			restaurantNameParts.second[rng.Intn(len(restaurantNameParts.second))])
+		street := sharedStreets[rng.Intn(len(sharedStreets))]
+		if rng.Float64() < c.distinct { // city-distinctive street
+			street = c.streets[rng.Intn(len(c.streets))]
+		}
+		addr := fmt.Sprintf("%d %s", 10+rng.Intn(990), street)
+		if rng.Float64() < c.distinct { // city-distinctive neighbourhood tag
+			addr = fmt.Sprintf("%s, %s", addr, c.districts[rng.Intn(len(c.districts))])
+		}
+		// A small fraction of records carry a noisy (out-of-metro) area
+		// code, so even the strongest evidence is imperfect.
+		code := c.areaCodes[rng.Intn(len(c.areaCodes))]
+		if rng.Float64() < 0.08 {
+			other := cities[rng.Intn(len(cities))]
+			code = other.areaCodes[rng.Intn(len(other.areaCodes))]
+		}
+		phone := fmt.Sprintf("%s-%03d-%04d", code, 100+rng.Intn(900), rng.Intn(10000))
+		cuisine := c.cuisines[rng.Intn(len(c.cuisines))]
+		if rng.Float64() < 0.35 { // cross-metro cuisine noise
+			other := cities[rng.Intn(len(cities))]
+			cuisine = other.cuisines[rng.Intn(len(other.cuisines))]
+		}
+		records = append(records, Record{
+			ID: fmt.Sprintf("rest-%03d", i),
+			Fields: []Field{
+				{"name", name},
+				{"addr", addr},
+				{"city", c.gold},
+				{"phone", phone},
+				{"type", cuisine},
+			},
+		})
+	}
+	return &ImputationDataset{
+		Name:        "restaurants",
+		TargetField: "city",
+		Train:       records[:trainN],
+		Test:        records[trainN:],
+	}
+}
+
+// GenerateBuy builds the synthetic Buy imputation dataset: product records
+// with name/description/price where "manufacturer" is the target. The test
+// partition has exactly testN records (the paper's slice has 65). Brands
+// are drawn by popularity weight; a majority of product names lead with
+// the brand, the rest leave only the SKU prefix and the (ambiguous)
+// category as evidence.
+func GenerateBuy(trainN, testN int, seed int64) *ImputationDataset {
+	rng := rand.New(rand.NewSource(seed))
+	var totalWeight float64
+	for _, m := range manufacturers {
+		totalWeight += m.weight
+	}
+	pick := func() manufacturer {
+		r := rng.Float64() * totalWeight
+		for _, m := range manufacturers {
+			if r -= m.weight; r < 0 {
+				return m
+			}
+		}
+		return manufacturers[len(manufacturers)-1]
+	}
+	// Listing noise shared across every brand: marketing qualifiers and
+	// colours that dilute the embedding signal the way real marketplace
+	// titles do.
+	qualifiers := []string{"brand new", "refurbished", "open box", "oem", "retail"}
+	colors := []string{"black", "silver", "white", "graphite", "blue"}
+	features := []string{
+		"hdmi input", "usb port", "wifi ready", "bluetooth", "remote control",
+		"hd display", "portable design", "compact body", "wireless link",
+		"energy star", "wall mountable", "touch controls",
+	}
+	total := trainN + testN
+	records := make([]Record, 0, total)
+	for i := 0; i < total; i++ {
+		m := pick()
+		prod := m.products[rng.Intn(len(m.products))]
+		model := fmt.Sprintf("%s%d", m.modelPrefix, 100+rng.Intn(900))
+		parts := []string{qualifiers[rng.Intn(len(qualifiers))]}
+		if rng.Float64() < 0.5 {
+			parts = append(parts, m.display)
+		}
+		parts = append(parts, prod, colors[rng.Intn(len(colors))])
+		name := strings.Join(parts, " ")
+		f1 := features[rng.Intn(len(features))]
+		f2 := features[rng.Intn(len(features))]
+		desc := fmt.Sprintf("%s with %s and %s, model number %s", prod, f1, f2, model)
+		price := fmt.Sprintf("$%d.%02d", 20+rng.Intn(980), rng.Intn(100))
+		records = append(records, Record{
+			ID: fmt.Sprintf("buy-%03d", i),
+			Fields: []Field{
+				{"name", name},
+				{"description", desc},
+				{"manufacturer", m.gold},
+				{"price", price},
+			},
+		})
+	}
+	return &ImputationDataset{
+		Name:        "buy",
+		TargetField: "manufacturer",
+		Train:       records[:trainN],
+		Test:        records[trainN:],
+	}
+}
+
+// CityGoldLabels returns every gold city label, in table order.
+func CityGoldLabels() []string {
+	out := make([]string, len(cities))
+	for i, c := range cities {
+		out[i] = c.gold
+	}
+	return out
+}
+
+// ManufacturerGoldLabels returns every gold manufacturer label, in table
+// order.
+func ManufacturerGoldLabels() []string {
+	out := make([]string, len(manufacturers))
+	for i, m := range manufacturers {
+		out[i] = m.gold
+	}
+	return out
+}
+
+// ManufacturerForModelPrefix returns the brand whose SKU prefix starts
+// the given model number (e.g. "SN482" -> Sony).
+func ManufacturerForModelPrefix(model string) (string, bool) {
+	upper := strings.ToUpper(model)
+	for _, m := range manufacturers {
+		if strings.HasPrefix(upper, m.modelPrefix) {
+			return m.gold, true
+		}
+	}
+	return "", false
+}
+
+// ManufacturerCandidates returns the gold labels of every brand whose
+// product vocabulary appears in the given description text, in table
+// order. Categories overlap across brands, so description-only inference
+// is genuinely ambiguous.
+func ManufacturerCandidates(description string) []string {
+	lower := strings.ToLower(description)
+	var out []string
+	for _, m := range manufacturers {
+		for _, p := range m.products {
+			if strings.Contains(lower, p) {
+				out = append(out, m.gold)
+				break
+			}
+		}
+	}
+	return out
+}

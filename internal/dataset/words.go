@@ -1,0 +1,231 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// dictionary is an embedded list of common English words used for the
+// alphabetical-sorting case study (Table 2). The paper sampled 100 random
+// words from a system dictionary; this list plays that role offline.
+const dictionary = `
+abandon ability absence absolute absorb abstract absurd abundant academy
+accent accept access accident acclaim account accuse achieve acid acoustic
+acquire across action active actor actual adapt address adequate adjust
+admire admit adopt advance advice aerial affair affect afford afraid agenda
+agent agree ahead airport alarm album alcohol alert algebra alien alley
+allow almond almost alone alpha already although always amateur amazing
+ambient amber ambition among amount ample analyze ancient angle angry animal
+ankle announce annual answer antenna antique anxiety apart apology apparent
+appeal appear apple apply appoint approve april apron architect arctic arena
+argue arise armor around arrange arrest arrive arrow artist aspect assault
+asset assist assume athlete atlas atom attach attack attend attic auction
+audit august aunt author autumn avenue average avocado avoid awake award
+aware awful awkward axis bacon badge balance balcony ballad bamboo banana
+banner banquet barely bargain barrel basket battle beach beacon beauty
+because become bedroom before begin behalf behave behind believe belong
+bench benefit berry beside better between beyond bicycle bidder bigger
+billow biology birch birthday biscuit bishop bitter blanket blast blaze
+bleach blend blossom blouse bluff board boast bonus border borrow bottle
+bottom boulder bounce bracket branch brave breath breeze brick bridge brief
+bright bring broad broken bronze brother brown brush bubble bucket budget
+buffalo builder bullet bundle burden bureau burst bushel butter button
+cabbage cabin cable cactus cadet cafeteria cage calcium calendar camel
+camera campus canal cancel candle candy cannon canoe canvas canyon capable
+capital captain capture carbon career cargo carpet carrot cartoon carve
+cascade cashier castle casual catalog catch cattle caution cavern ceiling
+celery cellar cement census center century cereal certain chain chair chalk
+chamber change chaos chapter charge charity charm chase cheap check cheese
+cherry chest chicken chief child chimney choice choose chorus chrome church
+cinema circle citizen civil claim clarify class clause clean clear clerk
+clever client cliff climate climb clinic clock closet cloth cloud clover
+club cluster coach coast cobweb coconut coffee cogent coin collar college
+colony column combine comedy comfort comic command comment common compass
+compete complex concept concert conduct confirm connect consider console
+contact contain content contest context control convert convince cookie
+copper coral corner correct cosmic costume cottage cotton couch council
+count country county couple courage course cousin cover coyote cradle
+craft crane crater crayon cream create credit creek cricket crimson crisp
+critic crop cross crowd crown crucial cruise crumble crystal cubic culture
+cunning cupboard curious current curtain curve cushion custom cycle
+daily dairy damage dance danger daring darkness data daughter dawn
+dazzle debate debris decade decent decide declare decline decorate decrease
+deed deep defend define degree delay deliver demand denial dense depart
+depend deposit depth deputy derive describe desert design desire desk
+despair dessert destiny detail detect develop device devote diagram dialect
+diamond diary dictate diesel differ digital dignity dilemma dinner direct
+disable discuss dismiss display distance divert divide doctor document
+dolphin domain donate donkey double doubt dough dozen draft dragon drama
+drastic drawer dream dress drift drink drive drizzle drop drought drum
+duckling durable during dust duty dwarf dynamic
+eager eagle early earnest earth easel east echo eclipse ecology
+economy edge edit educate effect effort eight either elbow elder electric
+elegant element elephant elevate eleven elite else embark emblem embrace
+emerge emotion empire employ empty enable enact encode end endless endorse
+enemy energy enforce engage engine enhance enjoy enlist enough enrich
+enroll ensure enter entire entry envelope episode equal equip erase erode
+errand escape essay estate eternal ethics evening event evidence evolve
+exact example exceed excel except excess exchange excite exclude excuse
+execute exercise exhaust exhibit exile exist exit exotic expand expect
+expert explain explore export expose express extend extra eyebrow
+fabric facade factor faculty fade faint fairy faith falcon family
+famous fancy fantasy fashion father fatigue faucet fault favorite feature
+federal feeble fellow fence fertile festival fever fiber fiction field
+fierce figure filter final finance finger finish firefly fiscal fitness
+flame flavor fleet flexible flight float flock floor floral flour flower
+fluent fluid flute focus fog foil folder follow forest forget formal
+format fortune forum forward fossil foster found fountain fragile frame
+frantic freedom freeze frequent fresh friend fringe frost frozen fruit
+fuel function fungus funnel furnace further future
+gadget galaxy gallery gallon galore gamble garage garden garlic garment
+gather gauge gazette gender general genius gentle genuine gesture giant
+ginger giraffe give glacier glance glass glide glimpse globe glory glove
+glow goblet goggle golden goodness gorilla gospel gossip govern grace
+grain grand granite grant grape graph grasp grass gravel gravity great
+green greet grid grief grill grind grocery group grove growth guard guess
+guest guide guilt guitar gutter
+habit hammer hamper handle hangar happen harbor hardly harmony harsh
+harvest hassle hasten hatch haven hazard header health heart heavy hedge
+height helmet helpful herald herb heron hidden highway hiking hill hinge
+history hobby hockey holiday hollow honest honey horizon hornet horror
+horse hospital hotel hour house hover huddle human humble humor hundred
+hunger hunter hurdle hurry hybrid hydrogen hymn
+iceberg icicle idea identify idle ignite ignore illegal illness image
+imagine immense immune impact import impose improve impulse inch income
+increase indeed index indicate indoor industry infant inform inhale inherit
+initial inject injury inmate inner innocent input inquiry insect inside
+insist inspect install instant instead insult intact intend interest into
+invest invite involve iron island issue item ivory
+jacket jaguar janitor jargon jasmine jealous jelly jersey jewel jigsaw
+jingle joint jolly journal journey joyful judge juice jumble jungle junior
+justice
+kangaroo keen kennel kernel kettle keyboard kidney kindle kingdom
+kitchen kitten knee knife knock knot
+label labor ladder lagoon lake lamp language lantern laptop large
+laser latch later laugh launch laundry lava lavish lawyer layer league
+learn leather lecture ledger legacy legal legend leisure lemon length
+lentil leopard lesson letter lettuce level liberty library license lift
+light lilac limber limit linen linger liquid listen litter little lively
+lizard lobby lobster local locate locket lodge lofty logic lonely longing
+lottery lounge loyal lucky lumber lunar lunch luxury lyric
+machine magnet maiden major makeup mammal manage mandate mango manner
+mansion manual maple marble margin marine market marvel mascot massive
+master match matrix matter mature maximum mayor meadow measure medal media
+medical melody member memory mention mentor menu merchant mercy merge
+merit message metal method middle midnight mighty mild million mimic mineral
+minimum minor minute miracle mirror misery mission mistake mixture mobile
+model modern modest module moment monitor monkey monster month moral morning
+mosaic motion motor mountain mouse movie muffin muscle museum music mustard
+mutual myself mystery myth
+napkin narrow nation native nature nearby neat nectar needle neglect
+neighbor neither nephew nerve nest network neutral never niche nickel
+night nimble noble noise nominee noodle normal north notable notebook
+nothing notice notion novel nuclear number nurse nutmeg
+oasis object oblige obscure observe obtain obvious occasion occupy
+ocean october odor offer office often olive omega onion online onset
+opera opinion oppose option oracle orange orbit orchard order organ orient
+origin ostrich other outcome outdoor outer output outside oval oven over
+owner oxygen oyster
+pacific package paddle pagoda palace palm panel panic panther paper
+parade parcel pardon parent park parlor partner party passage patent path
+patient patrol pattern pause payment peace peanut pearl pebble pedal
+pelican penalty pencil penguin people pepper perfect perform perhaps period
+permit person phase phone photo phrase physics piano picnic picture piece
+pigeon pillar pillow pilot pinch pioneer pirate pistol pitch pivot pixel
+pizza place plain planet plastic plate platform play plaza pledge plenty
+plot plumber pocket poem point polar policy polish polite pollen pond
+pony popular portion position possible postage poster potato pottery
+pouch powder power praise predict prefer premium prepare present pretty
+prevent price pride primary prince print prison private prize problem
+process produce profit program project promise prompt proof proper protect
+proud provide public pudding pulse pumpkin punch pupil puppy purchase
+purple purpose pursue puzzle pyramid
+quaint quality quantum quarter queen quench query question quick quiet
+quilt quiver quote
+rabbit raccoon radar radio raft rail rainbow raise rally ranch random
+range rapid rare rather rattle ravine razor reach react reason rebel
+recall receive recipe record recover recruit recycle reduce refer reflect
+reform refuse region regret regular reject relax release relief rely
+remain remark remedy remind remove render renew rent repair repeat replace
+report request rescue research resist resolve resource respect respond
+rest result retain retire retreat return reunion reveal review reward
+rhythm ribbon ridge rifle right rigid ring ripple rise ritual rival river
+road roast robin robust rocket romance roof rookie rooster rotate rough
+round route royal rubber rugged ruin rule rumble runway rural rustic
+saddle safari safety sailor salad salmon salon salute sample sandal
+sandwich sapling sardine satisfy sauce sausage savage save scale scandal
+scarce scatter scene scheme scholar school science scissors scoop scope
+score scout scrap screen script scroll sculpture season second secret
+section secure segment select seller seminar senior sense sentence sequel
+series sermon service session settle seven shadow shaft shallow shampoo
+shape share sharp shelf shell shelter sheriff shield shift shine shiver
+shock shore short shoulder shovel shower shrimp shrink shuttle sibling
+siege sight signal silence silver similar simple since singer single
+sister sketch skill skirt slender slice slide slight slogan slope small
+smart smile smoke smooth snack snake sneak snow soccer social socket sofa
+solar soldier solid solve sonnet sorrow sort soul sound source south
+space spare spark speak special speech speed spell spend sphere spice
+spider spinach spiral spirit splash sponge spoon sport spray spread spring
+sprout square squirrel stable stadium staff stage stair stamp stand staple
+start state station statue steady steam steel stem step stereo stick
+still sting stock stomach stone storage store storm story stove straight
+strange strategy stream street stress stretch strike string stroll strong
+struggle student studio study stumble style subject submit subtle suburb
+subway sudden suffer sugar suggest summer summit sunny sunset super supply
+support supreme surface surge surplus survey survive suspect sustain
+swallow swamp swarm sweater sweet swift swing switch symbol symptom syrup
+system
+table tackle tactic tailor talent tangle tango tank target tattoo
+tavern teach team tease tedious temper temple tenant tender tennis tent
+term terrace thank theater theme theory thimble thing thirty thorn thought
+thread thrive throne thunder ticket tidal tiger timber tiny tissue title
+toast tobacco today toddler token tomato tongue tonight topic torch
+tornado tortoise total tourist toward tower town trace track trade traffic
+trail train transit travel treasure treat tremble trend trial tribute
+trick trigger trim triumph trolley trophy tropical trouble trumpet trust
+truth tuition tumble tundra tunnel turbine turkey turnip turtle tutor
+twelve twenty twilight twist type typical
+umbrella unable uncle uncover under unfair unfold uniform unique unit
+unity universe unknown unlock until unusual unveil update upgrade uphold
+upon upper upset urban urgent usage useful usher usual utility
+vacant vacuum vague valid valley value vanilla vapor variety vast
+vault vector vehicle velvet vendor venture venue verdict verify verse
+version vessel veteran viable vibrant victory video view vigor village
+vintage violet violin virtual virtue visible vision visit visual vital
+vivid vocal voice volcano volume voyage
+wafer wagon waist walnut walrus wander warden warm warrior wash
+waste water wave wealth weapon weather weave wedding weekend welcome
+west whale wheat wheel whisper whistle wicked widget width wild willow
+window winter wisdom wish witness wizard wolf wonder wooden world worry
+worth wound wrap wreck wrestle wrist write
+yacht yard yarn yearly yeast yellow yield yogurt young youth
+zebra zenith zephyr zero zigzag zinc zone
+`
+
+var dictWords = strings.Fields(dictionary)
+
+// Dictionary returns the embedded English word list (a copy, in dictionary
+// order). The list contains well over a thousand distinct lowercase words
+// covering every letter of the alphabet.
+func Dictionary() []string {
+	out := make([]string, len(dictWords))
+	copy(out, dictWords)
+	return out
+}
+
+// RandomWords returns n distinct words sampled uniformly without
+// replacement from the embedded dictionary, deterministically for the
+// given seed. It panics if n exceeds the dictionary size, which indicates
+// a programming error in the benchmark harness.
+func RandomWords(n int, seed int64) []string {
+	if n > len(dictWords) {
+		panic("dataset: RandomWords n exceeds dictionary size")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(dictWords))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = dictWords[idx[i]]
+	}
+	return out
+}

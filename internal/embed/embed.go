@@ -1,0 +1,227 @@
+// Package embed provides deterministic text embeddings and an exact
+// k-nearest-neighbour index. It stands in for the vendor embedding model
+// (text-embedding-ada-002) used by the paper's Table 3 experiment: the
+// toolkit only needs embeddings to rank surface-similar records near each
+// other, which character-n-gram hashing embeddings do reliably.
+package embed
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DefaultDim is the embedding dimensionality used across the toolkit.
+// It is far smaller than vendor embeddings (1536) but ample for the
+// surface-similarity ranking the workflows rely on.
+const DefaultDim = 256
+
+// Embedder converts text to fixed-length vectors.
+type Embedder interface {
+	// Embed returns the vector for the given text. Implementations must be
+	// deterministic: equal inputs yield equal vectors.
+	Embed(text string) []float64
+	// Dim returns the vector length produced by Embed.
+	Dim() int
+}
+
+// NGramEmbedder hashes character n-grams of the lower-cased input into a
+// fixed number of buckets and L2-normalises the result. Texts sharing many
+// n-grams (near-duplicates, typo variants, truncations) land close in L2
+// and cosine distance.
+type NGramEmbedder struct {
+	dim  int
+	n    int
+	seed uint64
+}
+
+// NewNGramEmbedder returns an embedder with the given dimensionality and
+// n-gram length. Dim must be positive and n at least 2; the constructor
+// panics otherwise because both are compile-time choices.
+func NewNGramEmbedder(dim, n int) *NGramEmbedder {
+	if dim <= 0 || n < 2 {
+		panic(fmt.Sprintf("embed: invalid NGramEmbedder(dim=%d, n=%d)", dim, n))
+	}
+	return &NGramEmbedder{dim: dim, n: n, seed: 0x9e3779b97f4a7c15}
+}
+
+// Default returns the embedder configuration used by the benchmarks:
+// 3-grams into DefaultDim buckets.
+func Default() *NGramEmbedder { return NewNGramEmbedder(DefaultDim, 3) }
+
+// Dim implements Embedder.
+func (e *NGramEmbedder) Dim() int { return e.dim }
+
+// Embed implements Embedder.
+func (e *NGramEmbedder) Embed(text string) []float64 {
+	v := make([]float64, e.dim)
+	norm := strings.ToLower(strings.Join(strings.Fields(text), " "))
+	runes := []rune(" " + norm + " ") // pad so prefixes/suffixes count
+	if len(runes) < e.n {
+		runes = append(runes, make([]rune, e.n-len(runes))...)
+	}
+	for i := 0; i+e.n <= len(runes); i++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|", e.seed)
+		h.Write([]byte(string(runes[i : i+e.n])))
+		sum := h.Sum64()
+		bucket := int(sum % uint64(e.dim))
+		// Signed hashing halves collision bias.
+		if sum&(1<<63) != 0 {
+			v[bucket]--
+		} else {
+			v[bucket]++
+		}
+	}
+	normalize(v)
+	return v
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// L2 returns the Euclidean distance between two equal-length vectors.
+// It panics on length mismatch, which indicates mixed embedders.
+func L2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("embed: L2 on vectors of different length")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1]. Zero vectors
+// yield similarity 0.
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("embed: Cosine on vectors of different length")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Neighbor is one k-NN search result.
+type Neighbor struct {
+	// ID is the identifier supplied at Add time.
+	ID string
+	// Distance is the L2 distance from the query.
+	Distance float64
+}
+
+// Index is an exact k-NN index over embedded texts. It is not safe for
+// concurrent mutation; build it fully, then query from any goroutine.
+type Index struct {
+	embedder Embedder
+	ids      []string
+	vecs     [][]float64
+	byID     map[string]int
+}
+
+// NewIndex returns an empty index using the given embedder.
+func NewIndex(e Embedder) *Index {
+	return &Index{embedder: e, byID: make(map[string]int)}
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Add embeds and stores text under id. Re-adding an existing id replaces
+// its vector.
+func (ix *Index) Add(id, text string) {
+	v := ix.embedder.Embed(text)
+	if pos, ok := ix.byID[id]; ok {
+		ix.vecs[pos] = v
+		return
+	}
+	ix.byID[id] = len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, v)
+}
+
+// Nearest returns the k nearest stored items to the query text by L2
+// distance, closest first. Ties break by insertion order for determinism.
+// If k exceeds the index size, all items are returned.
+func (ix *Index) Nearest(text string, k int) []Neighbor {
+	return ix.nearest(ix.embedder.Embed(text), k, -1)
+}
+
+// NearestOther behaves like Nearest but excludes the item stored under
+// excludeID — the standard "neighbours of a record other than itself"
+// query used by the entity-resolution and imputation workflows.
+func (ix *Index) NearestOther(text, excludeID string, k int) []Neighbor {
+	skip := -1
+	if pos, ok := ix.byID[excludeID]; ok {
+		skip = pos
+	}
+	return ix.nearest(ix.embedder.Embed(text), k, skip)
+}
+
+func (ix *Index) nearest(q []float64, k, skip int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, len(ix.ids))
+	for i, v := range ix.vecs {
+		if i == skip {
+			continue
+		}
+		out = append(out, Neighbor{ID: ix.ids[i], Distance: L2(q, v)})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Distance < out[b].Distance })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Blocks partitions the indexed items into groups whose pairwise L2
+// distance to a group seed is below threshold — a cheap embedding-based
+// blocking pass for entity resolution. Each item appears in exactly one
+// block; blocks preserve insertion order.
+func (ix *Index) Blocks(threshold float64) [][]string {
+	assigned := make([]bool, len(ix.ids))
+	var blocks [][]string
+	for i := range ix.ids {
+		if assigned[i] {
+			continue
+		}
+		block := []string{ix.ids[i]}
+		assigned[i] = true
+		for j := i + 1; j < len(ix.ids); j++ {
+			if assigned[j] {
+				continue
+			}
+			if L2(ix.vecs[i], ix.vecs[j]) < threshold {
+				block = append(block, ix.ids[j])
+				assigned[j] = true
+			}
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}

@@ -1,0 +1,208 @@
+package embed
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := Default()
+	a := e.Embed("indexing the positions of continuously moving objects")
+	b := e.Embed("indexing the positions of continuously moving objects")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Embed is not deterministic")
+	}
+	if len(a) != e.Dim() {
+		t.Fatalf("dim = %d, want %d", len(a), e.Dim())
+	}
+}
+
+func TestEmbedNormalised(t *testing.T) {
+	e := Default()
+	v := e.Embed("hello world")
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("norm^2 = %f, want 1", s)
+	}
+}
+
+func TestEmbedSimilarityOrdering(t *testing.T) {
+	e := Default()
+	base := e.Embed("indexing the positions of continuously moving objects")
+	typoVariant := e.Embed("indexing the positions of continously moving objects")
+	truncated := e.Embed("indexing the positions of continuousl...")
+	unrelated := e.Embed("a survey of quantum chromodynamics lattice methods")
+
+	dTypo := L2(base, typoVariant)
+	dTrunc := L2(base, truncated)
+	dUnrel := L2(base, unrelated)
+	if dTypo >= dUnrel {
+		t.Fatalf("typo variant (%f) should be closer than unrelated (%f)", dTypo, dUnrel)
+	}
+	if dTrunc >= dUnrel {
+		t.Fatalf("truncation (%f) should be closer than unrelated (%f)", dTrunc, dUnrel)
+	}
+}
+
+func TestEmbedCaseAndWhitespaceInvariance(t *testing.T) {
+	e := Default()
+	a := e.Embed("Hello   World")
+	b := e.Embed("hello world")
+	if L2(a, b) > 1e-9 {
+		t.Fatal("embedding should fold case and whitespace")
+	}
+}
+
+func TestEmbedShortStrings(t *testing.T) {
+	e := Default()
+	// Must not panic on inputs shorter than the n-gram length.
+	_ = e.Embed("")
+	_ = e.Embed("a")
+}
+
+func TestNewNGramEmbedderPanics(t *testing.T) {
+	for _, bad := range [][2]int{{0, 3}, {10, 1}, {-5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewNGramEmbedder(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			NewNGramEmbedder(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestL2AndCosine(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := L2(a, b); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("L2 = %f", got)
+	}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("Cosine orthogonal = %f", got)
+	}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Cosine self = %f", got)
+	}
+	if got := Cosine([]float64{0, 0}, a); got != 0 {
+		t.Fatalf("Cosine zero = %f", got)
+	}
+}
+
+func TestL2PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L2 should panic on length mismatch")
+		}
+	}()
+	L2([]float64{1}, []float64{1, 2})
+}
+
+func TestIndexNearest(t *testing.T) {
+	ix := NewIndex(Default())
+	ix.Add("a", "golden dragon chinese restaurant")
+	ix.Add("b", "golden dragon chinese restaurnt") // typo twin
+	ix.Add("c", "completely different quantum physics text")
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	nn := ix.Nearest("golden dragon chinese restaurant", 2)
+	if len(nn) != 2 {
+		t.Fatalf("got %d neighbours", len(nn))
+	}
+	if nn[0].ID != "a" || nn[0].Distance > 1e-9 {
+		t.Fatalf("self should be nearest: %+v", nn[0])
+	}
+	if nn[1].ID != "b" {
+		t.Fatalf("typo twin should be second: %+v", nn[1])
+	}
+}
+
+func TestIndexNearestOther(t *testing.T) {
+	ix := NewIndex(Default())
+	ix.Add("a", "golden dragon chinese restaurant")
+	ix.Add("b", "golden dragon chinese restaurnt")
+	ix.Add("c", "quantum physics")
+	nn := ix.NearestOther("golden dragon chinese restaurant", "a", 1)
+	if len(nn) != 1 || nn[0].ID != "b" {
+		t.Fatalf("NearestOther = %+v, want b", nn)
+	}
+	// Excluding an unknown id is harmless.
+	nn = ix.NearestOther("golden dragon chinese restaurant", "zzz", 1)
+	if nn[0].ID != "a" {
+		t.Fatalf("NearestOther with unknown exclude = %+v", nn)
+	}
+}
+
+func TestIndexNearestEdgeCases(t *testing.T) {
+	ix := NewIndex(Default())
+	if got := ix.Nearest("anything", 3); len(got) != 0 {
+		t.Fatalf("empty index should return no neighbours, got %+v", got)
+	}
+	ix.Add("a", "text")
+	if got := ix.Nearest("text", 0); len(got) != 0 {
+		t.Fatal("k=0 should return no neighbours")
+	}
+	if got := ix.Nearest("text", 10); len(got) != 1 {
+		t.Fatalf("k beyond size should clamp: %+v", got)
+	}
+}
+
+func TestIndexReAdd(t *testing.T) {
+	ix := NewIndex(Default())
+	ix.Add("a", "first text")
+	ix.Add("a", "replacement text about quantum physics")
+	if ix.Len() != 1 {
+		t.Fatalf("re-add should replace, Len = %d", ix.Len())
+	}
+	nn := ix.Nearest("replacement text about quantum physics", 1)
+	if nn[0].Distance > 1e-9 {
+		t.Fatal("re-added vector not replaced")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	ix := NewIndex(Default())
+	ix.Add("a1", "golden dragon chinese restaurant new york")
+	ix.Add("a2", "golden dragon chinese restaurant new york city")
+	ix.Add("b1", "quantum lattice chromodynamics survey methods")
+	blocks := ix.Blocks(0.8)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v, want 2 blocks", blocks)
+	}
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	if total != 3 {
+		t.Fatalf("blocks lost items: %v", blocks)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	e := Default()
+	f := func(a, b, c string) bool {
+		va, vb, vc := e.Embed(a), e.Embed(b), e.Embed(c)
+		return L2(va, vc) <= L2(va, vb)+L2(vb, vc)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineBoundedProperty(t *testing.T) {
+	e := Default()
+	f := func(a, b string) bool {
+		c := Cosine(e.Embed(a), e.Embed(b))
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

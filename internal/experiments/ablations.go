@@ -1,0 +1,670 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/metrics"
+	"repro/internal/prompt"
+	"repro/internal/quality"
+	"repro/internal/token"
+)
+
+// BatchSizeRow is one batch-size setting in ablation A1.
+type BatchSizeRow struct {
+	BatchSize int
+	// PairF1 scores the produced grouping against entity ground truth,
+	// treating every within-group pair as a predicted duplicate pair.
+	PairF1 float64
+	Tokens int
+}
+
+// AblationBatchSize (A1) sweeps the records-per-prompt hyperparameter of
+// the coarse grouping strategy (Section 4 lists batch size as a planner
+// dimension): bigger batches cost fewer tokens but group more sloppily.
+func AblationBatchSize(ctx context.Context, model string, records, seed int, sizes []int) ([]BatchSizeRow, error) {
+	cfg := dataset.CitationConfig{Entities: records / 2, Pairs: 10, PositiveFrac: 0.3, Seed: int64(seed)}
+	corpus := dataset.GenerateCitations(cfg)
+	n := records
+	if n > len(corpus.Records) {
+		n = len(corpus.Records)
+	}
+	ents := make([]core.Entity, n)
+	entityOf := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		ents[i] = core.Entity{ID: corpus.Records[i].ID, Text: corpus.Records[i].Text()}
+		entityOf[corpus.Records[i].ID] = corpus.Records[i].Entity
+	}
+	engine := core.New(sim.NewNamed(model), core.WithParallelism(8))
+	rows := make([]BatchSizeRow, 0, len(sizes))
+	for _, size := range sizes {
+		res, err := engine.Dedupe(ctx, core.DedupeRequest{
+			Records:   ents,
+			Strategy:  core.DedupeGroupBatch,
+			BatchSize: size,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation A1 size %d: %w", size, err)
+		}
+		rows = append(rows, BatchSizeRow{
+			BatchSize: size,
+			PairF1:    groupingPairF1(res.Groups, entityOf),
+			Tokens:    res.Usage.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// groupingPairF1 scores a grouping against entity labels on the pair
+// level.
+func groupingPairF1(groups [][]string, entityOf map[string]int) float64 {
+	var c metrics.Confusion
+	var ids []string
+	group := make(map[string]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			group[id] = gi
+			ids = append(ids, id)
+		}
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			predicted := group[ids[i]] == group[ids[j]]
+			actual := entityOf[ids[i]] == entityOf[ids[j]]
+			c.Observe(predicted, actual)
+		}
+	}
+	return c.F1()
+}
+
+// QualityRow is one policy in ablation A2.
+type QualityRow struct {
+	Policy   string
+	Accuracy float64
+	Asks     int
+}
+
+// AblationQuality (A2) compares Section 3.5 quality-control policies on a
+// noisy model answering the chocolatey-flavour predicate: a single ask,
+// fixed-k majority voting, a multi-model panel, and Dawid–Skene EM
+// consensus over the panel's votes.
+func AblationQuality(ctx context.Context, noisyModel string, votes int) ([]QualityRow, error) {
+	items := dataset.FlavorNames()
+	pred := "it is a chocolatey flavor"
+	gold := make([]bool, len(items))
+	for i, it := range items {
+		s, _ := dataset.FlavorScore(it)
+		gold[i] = s > 0.5
+	}
+	noisy := sim.NewNamed(noisyModel)
+	panel := []llm.Model{
+		sim.NewNamed(noisyModel),
+		sim.NewNamed("sim-gpt-3.5-turbo"),
+		sim.NewNamed("sim-claude"),
+		sim.NewNamed("sim-gpt-4"),
+		sim.NewNamed("sim-claude-2"),
+	}
+	accuracy := func(predictions []bool) float64 {
+		correct := 0
+		for i, p := range predictions {
+			if p == gold[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(gold))
+	}
+
+	var rows []QualityRow
+
+	// Single ask.
+	single := make([]bool, len(items))
+	asks := 0
+	for i, it := range items {
+		ans, err := quality.AskWithRetry(ctx, noisy, prompt.FilterItem(it, pred), prompt.ParseYesNo, 3)
+		if err != nil {
+			return nil, fmt.Errorf("ablation A2 single: %w", err)
+		}
+		single[i] = ans
+		asks++
+	}
+	rows = append(rows, QualityRow{Policy: "single ask", Accuracy: accuracy(single), Asks: asks})
+
+	// Fixed-k majority (self-consistency).
+	maj := make([]bool, len(items))
+	asks = 0
+	for i, it := range items {
+		ans, yes, no, err := quality.MajorityYesNo(ctx, noisy, prompt.FilterItem(it, pred), votes, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("ablation A2 majority: %w", err)
+		}
+		maj[i] = ans
+		asks += yes + no
+	}
+	rows = append(rows, QualityRow{Policy: fmt.Sprintf("majority of %d", votes), Accuracy: accuracy(maj), Asks: asks})
+
+	// Sequential (CrowdScreen-style) policy.
+	seq := make([]bool, len(items))
+	asks = 0
+	for i, it := range items {
+		ans, used, err := quality.SequentialYesNo(ctx, noisy, prompt.FilterItem(it, pred), votes, 2, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("ablation A2 sequential: %w", err)
+		}
+		seq[i] = ans
+		asks += used
+	}
+	rows = append(rows, QualityRow{Policy: "sequential margin-2", Accuracy: accuracy(seq), Asks: asks})
+
+	// Multi-model panel with EM consensus.
+	voteMatrix := make([][]bool, len(items))
+	asks = 0
+	for i, it := range items {
+		row := make([]bool, len(panel))
+		for j, m := range panel {
+			ans, err := quality.AskWithRetry(ctx, m, prompt.FilterItem(it, pred), prompt.ParseYesNo, 3)
+			if err != nil {
+				return nil, fmt.Errorf("ablation A2 panel: %w", err)
+			}
+			row[j] = ans
+			asks++
+		}
+		voteMatrix[i] = row
+	}
+	em, err := quality.EMBinary(voteMatrix, 100, 1e-8)
+	if err != nil {
+		return nil, fmt.Errorf("ablation A2 EM: %w", err)
+	}
+	rows = append(rows, QualityRow{Policy: "5-model panel + EM", Accuracy: accuracy(em.Consensus), Asks: asks})
+	return rows, nil
+}
+
+// PlannerRow is one (budget, target) cell in ablation A3.
+type PlannerRow struct {
+	TargetAccuracy float64
+	BudgetDollars  float64
+	Chosen         string
+	Reason         string
+}
+
+// AblationPlanner (A3) exercises the automatic strategy selection of
+// Section 4 across a grid of accuracy targets and budgets, profiling sort
+// strategies on a 10-flavour validation sample.
+func AblationPlanner(ctx context.Context, model string) ([]PlannerRow, error) {
+	engine := core.New(sim.NewNamed(model), core.WithParallelism(8))
+	val := dataset.FlavorNames()[:10]
+	var gold []string
+	for _, f := range dataset.FlavorGroundTruth() {
+		for _, v := range val {
+			if f == v {
+				gold = append(gold, f)
+			}
+		}
+	}
+	strategies := []core.SortStrategy{core.SortOnePrompt, core.SortRating, core.SortPairwise}
+	grid := []struct {
+		target float64
+		budget float64
+	}{
+		{0.60, 0.0005},
+		{0.60, 1},
+		{0.80, 0.0005},
+		{0.80, 1},
+		{0.95, 1},
+	}
+	rows := make([]PlannerRow, 0, len(grid))
+	for _, cell := range grid {
+		plan, err := engine.PlanSort(ctx, val, gold, "how chocolatey they are",
+			strategies, cell.target, cell.budget, 100)
+		if err != nil {
+			return nil, fmt.Errorf("ablation A3 target %.2f budget %.4f: %w", cell.target, cell.budget, err)
+		}
+		rows = append(rows, PlannerRow{
+			TargetAccuracy: cell.target,
+			BudgetDollars:  cell.budget,
+			Chosen:         plan.Chosen,
+			Reason:         plan.Reason,
+		})
+	}
+	return rows, nil
+}
+
+// RepairRow is one model noise level in ablation A4.
+type RepairRow struct {
+	Model              string
+	CopelandTau        float64
+	RepairedTau        float64
+	CopelandViolations int
+	RepairedViolations int
+}
+
+// AblationRepair (A4) measures what minimum-feedback repair of the
+// comparison graph (Section 3.3) buys over raw Copeland win counts, at
+// three model noise levels.
+func AblationRepair(ctx context.Context, items int) ([]RepairRow, error) {
+	flavors := dataset.FlavorNames()
+	if items > len(flavors) {
+		items = len(flavors)
+	}
+	subset := flavors[:items]
+	var gold []string
+	for _, f := range dataset.FlavorGroundTruth() {
+		for _, v := range subset {
+			if f == v {
+				gold = append(gold, f)
+			}
+		}
+	}
+	var rows []RepairRow
+	for _, model := range []string{"sim-gpt-4", "sim-gpt-3.5-turbo", "sim-cheap"} {
+		engine := core.New(sim.NewNamed(model), core.WithParallelism(8))
+		plain, err := engine.Sort(ctx, core.SortRequest{
+			Items: subset, Criterion: "how chocolatey they are", Strategy: core.SortPairwise,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation A4 %s: %w", model, err)
+		}
+		repaired, err := engine.Sort(ctx, core.SortRequest{
+			Items: subset, Criterion: "how chocolatey they are", Strategy: core.SortPairwiseRepaired,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation A4 %s repaired: %w", model, err)
+		}
+		tauPlain, _ := metrics.KendallTauRanks(gold, plain.Ranked)
+		tauRep, _ := metrics.KendallTauRanks(gold, repaired.Ranked)
+		// Re-derive the violation counts from a fresh tournament over the
+		// same (cached) comparisons.
+		rows = append(rows, RepairRow{
+			Model:              model,
+			CopelandTau:        tauPlain,
+			RepairedTau:        tauRep,
+			CopelandViolations: orderViolations(gold, plain.Ranked),
+			RepairedViolations: orderViolations(gold, repaired.Ranked),
+		})
+	}
+	return rows, nil
+}
+
+// orderViolations counts ground-truth-inverted adjacent pairs — a simple
+// disorder measure for the report.
+func orderViolations(gold, ranked []string) int {
+	pos := make(map[string]int, len(gold))
+	for i, g := range gold {
+		pos[g] = i
+	}
+	v := 0
+	for i := 0; i+1 < len(ranked); i++ {
+		if pos[ranked[i]] > pos[ranked[i+1]] {
+			v++
+		}
+	}
+	return v
+}
+
+// FormatAblationBatchSize renders A1 rows.
+func FormatAblationBatchSize(rows []BatchSizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s\n", "BatchSize", "Pair F1", "Tokens")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %10.3f %10d\n", r.BatchSize, r.PairF1, r.Tokens)
+	}
+	return b.String()
+}
+
+// FormatAblationQuality renders A2 rows.
+func FormatAblationQuality(rows []QualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %8s\n", "Policy", "Accuracy", "Asks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %9.1f%% %8d\n", r.Policy, r.Accuracy*100, r.Asks)
+	}
+	return b.String()
+}
+
+// FormatAblationPlanner renders A3 rows.
+func FormatAblationPlanner(rows []PlannerRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %-22s %s\n", "Target", "Budget($)", "Chosen", "Reason")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.2f %-10.4f %-22s %s\n", r.TargetAccuracy, r.BudgetDollars, r.Chosen, r.Reason)
+	}
+	return b.String()
+}
+
+// FormatAblationRepair renders A4 rows.
+func FormatAblationRepair(rows []RepairRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s %10s %10s\n", "Model", "Copeland τ", "Repaired τ", "Viol(C)", "Viol(R)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %12.3f %12.3f %10d %10d\n",
+			r.Model, r.CopelandTau, r.RepairedTau, r.CopelandViolations, r.RepairedViolations)
+	}
+	return b.String()
+}
+
+// FilterRow is one filter policy in ablation A5.
+type FilterRow struct {
+	Policy   string
+	Accuracy float64
+	Asks     int
+	Tokens   int
+}
+
+// AblationFilter (A5) compares the Filter operator's policies end to end
+// on a noisy model: fixed single ask, fixed-k majority, and the adaptive
+// sequential policy, which concentrates spend on borderline items.
+func AblationFilter(ctx context.Context, model string, votes int) ([]FilterRow, error) {
+	items := dataset.FlavorNames()
+	pred := "it is a chocolatey flavor"
+	gold := make([]bool, len(items))
+	for i, it := range items {
+		s, _ := dataset.FlavorScore(it)
+		gold[i] = s > 0.5
+	}
+	engine := core.New(sim.NewNamed(model), core.WithParallelism(8), core.WithoutCache())
+	specs := []struct {
+		label    string
+		strategy core.FilterStrategy
+	}{
+		{"per-item", core.FilterPerItem},
+		{fmt.Sprintf("majority of %d", votes), core.FilterMajority},
+		{"sequential margin-2", core.FilterSequential},
+	}
+	rows := make([]FilterRow, 0, len(specs))
+	for _, spec := range specs {
+		res, err := engine.Filter(ctx, core.FilterRequest{
+			Items:     items,
+			Predicate: pred,
+			Strategy:  spec.strategy,
+			Votes:     votes,
+			MaxAsks:   votes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation A5 %s: %w", spec.label, err)
+		}
+		correct := 0
+		for i, k := range res.Keep {
+			if k == gold[i] {
+				correct++
+			}
+		}
+		rows = append(rows, FilterRow{
+			Policy:   spec.label,
+			Accuracy: float64(correct) / float64(len(items)),
+			Asks:     res.Asks,
+			Tokens:   res.Usage.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblationFilter renders A5 rows.
+func FormatAblationFilter(rows []FilterRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %8s %10s\n", "Policy", "Accuracy", "Asks", "Tokens")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %9.1f%% %8d %10d\n", r.Policy, r.Accuracy*100, r.Asks, r.Tokens)
+	}
+	return b.String()
+}
+
+// CompareBatchRow is one batch-size setting in ablation A6.
+type CompareBatchRow struct {
+	PairsPerPrompt int
+	KendallTau     float64
+	PromptTokens   int
+}
+
+// AblationCompareBatch (A6) sweeps the comparisons-per-prompt lever of
+// Section 4 on the Table 1 pairwise sort: bigger batches amortise the
+// instruction overhead (fewer prompt tokens) at an accuracy cost. Tau is
+// averaged over several item subsets to separate the batching effect from
+// single-run comparison noise.
+func AblationCompareBatch(ctx context.Context, model string, batches []int) ([]CompareBatchRow, error) {
+	engine := core.New(sim.NewNamed(model), core.WithParallelism(16))
+	all := dataset.FlavorNames()
+	gold := dataset.FlavorGroundTruth()
+	const trials = 5
+	rows := make([]CompareBatchRow, 0, len(batches))
+	for _, b := range batches {
+		tauSum, tokens := 0.0, 0
+		for trial := 0; trial < trials; trial++ {
+			items := dataset.Sample(all, 15, int64(trial+1))
+			res, err := engine.Sort(ctx, core.SortRequest{
+				Items:        items,
+				Criterion:    "how chocolatey they are",
+				Strategy:     core.SortPairwise,
+				CompareBatch: b,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation A6 batch %d: %w", b, err)
+			}
+			tau, err := metrics.KendallTauRanks(gold, res.Ranked)
+			if err != nil {
+				return nil, fmt.Errorf("ablation A6 batch %d tau: %w", b, err)
+			}
+			tauSum += tau
+			tokens += res.Usage.PromptTokens
+		}
+		rows = append(rows, CompareBatchRow{
+			PairsPerPrompt: b,
+			KendallTau:     tauSum / trials,
+			PromptTokens:   tokens / trials,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblationCompareBatch renders A6 rows.
+func FormatAblationCompareBatch(rows []CompareBatchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %15s\n", "Pairs/prompt", "Kendall Tau", "Prompt Tokens")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16d %12.3f %15d\n", r.PairsPerPrompt, r.KendallTau, r.PromptTokens)
+	}
+	return b.String()
+}
+
+// EvidenceRow is one strategy in ablation A7.
+type EvidenceRow struct {
+	Strategy              string
+	F1, Recall, Precision float64
+	FlippedYes, FlippedNo int
+}
+
+// AblationEvidence (A7) compares the paper's implemented transitivity
+// repair against its stated future work — flipping both "yes" and "no"
+// edges on opposing evidence — on the citation-matching task.
+func AblationEvidence(ctx context.Context, model string, citationCfg dataset.CitationConfig) ([]EvidenceRow, error) {
+	corpus := dataset.GenerateCitations(citationCfg)
+	ents := make([]core.Entity, len(corpus.Records))
+	for i, c := range corpus.Records {
+		ents[i] = core.Entity{ID: c.ID, Text: c.Text()}
+	}
+	pairs := make([][2]int, len(corpus.Pairs))
+	gold := make([]bool, len(corpus.Pairs))
+	for i, p := range corpus.Pairs {
+		pairs[i] = [2]int{p.A, p.B}
+		gold[i] = p.Match
+	}
+	engine := core.New(sim.NewNamed(model), core.WithParallelism(16))
+	specs := []struct {
+		label    string
+		strategy core.ResolveStrategy
+	}{
+		{"direct (baseline)", core.ResolveDirect},
+		{"transitive (yes-only)", core.ResolveTransitive},
+		{"evidence (both ways)", core.ResolveEvidence},
+	}
+	rows := make([]EvidenceRow, 0, len(specs))
+	for _, spec := range specs {
+		req := core.PairsRequest{Corpus: ents, Pairs: pairs, Strategy: spec.strategy}
+		if spec.strategy != core.ResolveDirect {
+			req.Neighbors = 2
+		}
+		res, err := engine.ResolvePairs(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("ablation A7 %s: %w", spec.label, err)
+		}
+		var c metrics.Confusion
+		for i, m := range res.Match {
+			c.Observe(m, gold[i])
+		}
+		rows = append(rows, EvidenceRow{
+			Strategy:   spec.label,
+			F1:         c.F1(),
+			Recall:     c.Recall(),
+			Precision:  c.Precision(),
+			FlippedYes: res.FlippedByTransitivity,
+			FlippedNo:  res.FlippedToNo,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblationEvidence renders A7 rows.
+func FormatAblationEvidence(rows []EvidenceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %8s %10s %10s %10s\n", "Strategy", "F1", "Recall", "Precision", "No->Yes", "Yes->No")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %8.3f %8.3f %10.3f %10d %10d\n",
+			r.Strategy, r.F1, r.Recall, r.Precision, r.FlippedYes, r.FlippedNo)
+	}
+	return b.String()
+}
+
+// CascadeRow is one routing policy in ablation A8.
+type CascadeRow struct {
+	Policy      string
+	Accuracy    float64
+	CheapCalls  int
+	StrongCalls int
+	Dollars     float64
+}
+
+// AblationCascade (A8) reproduces the FrugalGPT-style cascade the paper
+// cites: a cheap model answers unanimous questions, a strong model only
+// the contested ones — near-strong accuracy at a fraction of the cost.
+func AblationCascade(ctx context.Context, cheapName, strongName string) ([]CascadeRow, error) {
+	items := dataset.FlavorNames()
+	pred := "it is a chocolatey flavor"
+	gold := make([]bool, len(items))
+	for i, it := range items {
+		s, _ := dataset.FlavorScore(it)
+		gold[i] = s > 0.5
+	}
+	cheap := llm.NewCounting(sim.NewNamed(cheapName))
+	strong := llm.NewCounting(sim.NewNamed(strongName))
+	priceOf := func() float64 {
+		return token.PriceFor(cheapName).Cost(cheap.Total()) +
+			token.PriceFor(strongName).Cost(strong.Total())
+	}
+	accuracy := func(pred []bool) float64 {
+		correct := 0
+		for i, p := range pred {
+			if p == gold[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(gold))
+	}
+
+	var rows []CascadeRow
+	run := func(label string, decide func(item string) (bool, error)) error {
+		cheap.Reset()
+		strong.Reset()
+		answers := make([]bool, len(items))
+		for i, it := range items {
+			v, err := decide(it)
+			if err != nil {
+				return fmt.Errorf("%s on %q: %w", label, it, err)
+			}
+			answers[i] = v
+		}
+		rows = append(rows, CascadeRow{
+			Policy:      label,
+			Accuracy:    accuracy(answers),
+			CheapCalls:  cheap.Total().Calls,
+			StrongCalls: strong.Total().Calls,
+			Dollars:     priceOf(),
+		})
+		return nil
+	}
+
+	if err := run("cheap only", func(it string) (bool, error) {
+		return quality.AskWithRetry(ctx, cheap, prompt.FilterItem(it, pred), prompt.ParseYesNo, 3)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("strong only", func(it string) (bool, error) {
+		return quality.AskWithRetry(ctx, strong, prompt.FilterItem(it, pred), prompt.ParseYesNo, 3)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("cascade", func(it string) (bool, error) {
+		ans, _, err := quality.CascadeYesNo(ctx, cheap, strong, prompt.FilterItem(it, pred), 3, 1.0)
+		return ans, err
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatAblationCascade renders A8 rows.
+func FormatAblationCascade(rows []CascadeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %13s %10s\n", "Policy", "Accuracy", "Cheap calls", "Strong calls", "Cost($)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9.1f%% %12d %13d %10.5f\n",
+			r.Policy, r.Accuracy*100, r.CheapCalls, r.StrongCalls, r.Dollars)
+	}
+	return b.String()
+}
+
+// TemplateRow is one (model, template, cot) cell in ablation A9.
+type TemplateRow struct {
+	Model      string
+	Variant    string
+	Accuracy   float64
+	TokensUsed int
+}
+
+// AblationTemplates (A9) measures prompt brittleness (Section 4): the
+// same comparison task phrased through each built-in template, with and
+// without chain-of-thought, across two models. Accuracy varies by
+// phrasing per model, and the chain-of-thought variants pay in tokens.
+func AblationTemplates(ctx context.Context, models []string) ([]TemplateRow, error) {
+	gold := dataset.FlavorGroundTruth()[:10]
+	var rows []TemplateRow
+	for _, name := range models {
+		engine := core.New(sim.NewNamed(name), core.WithParallelism(16))
+		plan, err := engine.PlanCompareTemplate(ctx, gold, "how chocolatey they are",
+			true /* include CoT */, 1.1 /* unreachable: profile everything */, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("ablation A9 %s: %w", name, err)
+		}
+		for _, r := range plan.Reports {
+			rows = append(rows, TemplateRow{
+				Model:      name,
+				Variant:    r.Name,
+				Accuracy:   r.Accuracy,
+				TokensUsed: r.Usage.Total(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblationTemplates renders A9 rows.
+func FormatAblationTemplates(rows []TemplateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-14s %10s %10s\n", "Model", "Template", "Accuracy", "Tokens")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-14s %9.1f%% %10d\n", r.Model, r.Variant, r.Accuracy*100, r.TokensUsed)
+	}
+	return b.String()
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func ctx() context.Context { return context.Background() }
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(ctx(), DefaultTable1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one, rating, pairwise := rows[0], rows[1], rows[2]
+	// Paper shape: pairwise most accurate and most expensive; one-prompt
+	// cheapest and least accurate; ratings in between on cost.
+	if !(pairwise.KendallTau > rating.KendallTau && pairwise.KendallTau > one.KendallTau) {
+		t.Errorf("pairwise should win: %+v", rows)
+	}
+	if !(one.PromptTokens < rating.PromptTokens && rating.PromptTokens < pairwise.PromptTokens) {
+		t.Errorf("prompt token ordering violated: %+v", rows)
+	}
+	// Paper bands (±0.12): 0.526 / 0.547 / 0.737.
+	for i, want := range []float64{0.526, 0.547, 0.737} {
+		if diff := rows[i].KendallTau - want; diff > 0.12 || diff < -0.12 {
+			t.Errorf("row %d tau = %.3f, paper %.3f", i, rows[i].KendallTau, want)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Sorting in one prompt") {
+		t.Error("format output missing method label")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(ctx(), DefaultTable2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		base, hybrid := rows[i], rows[i+1]
+		if base.Method != "Sorting in one prompt" || hybrid.Method != "Sort then insert" {
+			t.Fatalf("row order wrong: %+v", rows[i:i+2])
+		}
+		// Paper shape: the baseline misses 4–7 words and hallucinates 0–1;
+		// the hybrid recovers everything and scores near-perfect.
+		if base.Missing < 1 || base.Missing > 10 {
+			t.Errorf("trial %d baseline missing = %d", base.Trial, base.Missing)
+		}
+		if base.Hallucinated > 3 {
+			t.Errorf("trial %d baseline hallucinated = %d", base.Trial, base.Hallucinated)
+		}
+		if hybrid.Missing != 0 {
+			t.Errorf("trial %d hybrid missing = %d", hybrid.Trial, hybrid.Missing)
+		}
+		if hybrid.Score <= base.Score {
+			t.Errorf("trial %d hybrid (%.3f) should beat baseline (%.3f)", base.Trial, hybrid.Score, base.Score)
+		}
+		if hybrid.Score < 0.97 {
+			t.Errorf("trial %d hybrid score = %.3f, want near-perfect", base.Trial, hybrid.Score)
+		}
+	}
+	if !strings.Contains(FormatTable2(rows), "Sort then insert") {
+		t.Error("format output missing method label")
+	}
+}
+
+// smallTable3Config keeps the test fast while preserving the corpus
+// structure.
+func smallTable3Config() Table3Config {
+	cfg := DefaultTable3Config()
+	cfg.Citations = dataset.CitationConfig{Entities: 250, Pairs: 900, PositiveFrac: 0.24, Seed: 7}
+	return cfg
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(ctx(), smallTable3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, k1, k2 := rows[0], rows[1], rows[2]
+	// Paper shape: baseline has high precision, low recall; neighbours
+	// raise recall and F1.
+	if base.Precision < 0.9 {
+		t.Errorf("baseline precision = %.3f", base.Precision)
+	}
+	if base.Recall > 0.65 {
+		t.Errorf("baseline recall = %.3f, want low", base.Recall)
+	}
+	if !(k1.F1 > base.F1) {
+		t.Errorf("k=1 F1 (%.3f) should beat baseline (%.3f)", k1.F1, base.F1)
+	}
+	if !(k2.Recall >= k1.Recall) {
+		t.Errorf("recall should not drop from k=1 (%.3f) to k=2 (%.3f)", k1.Recall, k2.Recall)
+	}
+	if !(k1.LLMComparisons > base.LLMComparisons && k2.LLMComparisons > k1.LLMComparisons) {
+		t.Errorf("comparison counts should grow with k: %d %d %d",
+			base.LLMComparisons, k1.LLMComparisons, k2.LLMComparisons)
+	}
+	if !strings.Contains(FormatTable3(rows), "0 (Baseline)") {
+		t.Error("format output missing baseline label")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4(ctx(), DefaultTable4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	knn, hyb0, llm0, hybK, llmK := rows[0], rows[1], rows[2], rows[3], rows[4]
+	// k-NN costs nothing.
+	if knn.RestTokens != 0 || knn.BuyTokens != 0 {
+		t.Error("k-NN must be free")
+	}
+	// Hybrid always undercuts LLM-only on tokens.
+	if hyb0.RestTokens >= llm0.RestTokens || hyb0.BuyTokens >= llm0.BuyTokens {
+		t.Errorf("hybrid(no ex) should undercut llm-only: %+v vs %+v", hyb0, llm0)
+	}
+	if hybK.RestTokens >= llmK.RestTokens || hybK.BuyTokens >= llmK.BuyTokens {
+		t.Errorf("hybrid(ex) should undercut llm-only: %+v vs %+v", hybK, llmK)
+	}
+	// Paper shape, Restaurants: hybrid(no ex) beats both k-NN and
+	// LLM-only(no ex).
+	if !(hyb0.RestAcc > knn.RestAcc && hyb0.RestAcc > llm0.RestAcc) {
+		t.Errorf("restaurants hybrid(no ex) should win: knn %.3f hybrid %.3f llm %.3f",
+			knn.RestAcc, hyb0.RestAcc, llm0.RestAcc)
+	}
+	// Paper shape, Buy: k-NN is weakest; LLM benefits from examples.
+	if !(knn.BuyAcc < llm0.BuyAcc) {
+		t.Errorf("buy k-NN (%.3f) should lose to llm-only (%.3f)", knn.BuyAcc, llm0.BuyAcc)
+	}
+	if !(llmK.BuyAcc > llm0.BuyAcc) {
+		t.Errorf("buy llm with examples (%.3f) should beat zero-shot (%.3f)", llmK.BuyAcc, llm0.BuyAcc)
+	}
+	// With examples, hybrid is within a few points of LLM-only.
+	if hybK.RestAcc < llmK.RestAcc-0.08 || hybK.BuyAcc < llmK.BuyAcc-0.08 {
+		t.Errorf("hybrid(ex) should approximately match llm-only(ex): %+v vs %+v", hybK, llmK)
+	}
+	if !strings.Contains(FormatTable4(rows), "Naive k-NN") {
+		t.Error("format output missing strategy label")
+	}
+}
+
+func TestAblationBatchSize(t *testing.T) {
+	rows, err := AblationBatchSize(ctx(), "sim-gpt-3.5-turbo", 40, 1, []int{4, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PairF1 <= 0 || r.PairF1 > 1 {
+			t.Errorf("batch %d F1 = %.3f", r.BatchSize, r.PairF1)
+		}
+		if r.Tokens <= 0 {
+			t.Errorf("batch %d tokens = %d", r.BatchSize, r.Tokens)
+		}
+	}
+	// Bigger batches must cost fewer tokens (fewer overlapping prompts).
+	if rows[0].Tokens <= rows[2].Tokens {
+		t.Errorf("batch 4 tokens (%d) should exceed batch 20 tokens (%d)", rows[0].Tokens, rows[2].Tokens)
+	}
+	if !strings.Contains(FormatAblationBatchSize(rows), "BatchSize") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationQuality(t *testing.T) {
+	rows, err := AblationQuality(ctx(), "sim-cheap", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := map[string]QualityRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	single := byPolicy["single ask"]
+	majority := byPolicy["majority of 5"]
+	panel := byPolicy["5-model panel + EM"]
+	if majority.Accuracy < single.Accuracy {
+		t.Errorf("majority (%.3f) should not lose to single ask (%.3f)", majority.Accuracy, single.Accuracy)
+	}
+	if panel.Accuracy < majority.Accuracy {
+		t.Errorf("panel+EM (%.3f) should not lose to single-model majority (%.3f)", panel.Accuracy, majority.Accuracy)
+	}
+	if !strings.Contains(FormatAblationQuality(rows), "single ask") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationPlanner(t *testing.T) {
+	rows, err := AblationPlanner(ctx(), "sim-gpt-3.5-turbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A tight budget must never select the quadratic strategy.
+	for _, r := range rows {
+		if r.BudgetDollars < 0.001 && r.Chosen == "pairwise" {
+			t.Errorf("tight budget chose pairwise: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatAblationPlanner(rows), "Chosen") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationRepair(t *testing.T) {
+	rows, err := AblationRepair(ctx(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Repair should not be materially worse than Copeland anywhere.
+		if r.RepairedTau < r.CopelandTau-0.3 {
+			t.Errorf("%s: repaired tau %.3f far below copeland %.3f", r.Model, r.RepairedTau, r.CopelandTau)
+		}
+	}
+	if !strings.Contains(FormatAblationRepair(rows), "Copeland") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationFilter(t *testing.T) {
+	rows, err := AblationFilter(ctx(), "sim-cheap", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	perItem, majority, sequential := rows[0], rows[1], rows[2]
+	if majority.Asks <= perItem.Asks {
+		t.Errorf("majority asks (%d) should exceed per-item (%d)", majority.Asks, perItem.Asks)
+	}
+	// The adaptive policy spends less than the fixed-k policy.
+	if sequential.Asks >= majority.Asks {
+		t.Errorf("sequential asks (%d) should undercut majority (%d)", sequential.Asks, majority.Asks)
+	}
+	if sequential.Accuracy < perItem.Accuracy-0.1 {
+		t.Errorf("sequential accuracy (%.3f) should be near or above single ask (%.3f)",
+			sequential.Accuracy, perItem.Accuracy)
+	}
+	if !strings.Contains(FormatAblationFilter(rows), "sequential") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationCompareBatch(t *testing.T) {
+	rows, err := AblationCompareBatch(ctx(), "sim-gpt-3.5-turbo", []int{1, 5, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tokens must fall monotonically with batch size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PromptTokens >= rows[i-1].PromptTokens {
+			t.Errorf("tokens should fall with batch size: %+v", rows)
+		}
+	}
+	// The largest batch must not beat single comparisons materially.
+	if rows[2].KendallTau > rows[0].KendallTau+0.05 {
+		t.Errorf("batch-19 tau (%.3f) should not beat batch-1 (%.3f)", rows[2].KendallTau, rows[0].KendallTau)
+	}
+	if !strings.Contains(FormatAblationCompareBatch(rows), "Pairs/prompt") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationEvidence(t *testing.T) {
+	rows, err := AblationEvidence(ctx(), "sim-gpt-3.5-turbo",
+		dataset.CitationConfig{Entities: 200, Pairs: 700, PositiveFrac: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	direct, transitive, evidence := rows[0], rows[1], rows[2]
+	if transitive.Recall <= direct.Recall {
+		t.Errorf("transitive recall (%.3f) should beat direct (%.3f)", transitive.Recall, direct.Recall)
+	}
+	if evidence.Recall <= direct.Recall {
+		t.Errorf("evidence recall (%.3f) should beat direct (%.3f)", evidence.Recall, direct.Recall)
+	}
+	if transitive.FlippedYes == 0 || evidence.FlippedYes == 0 {
+		t.Error("augmented strategies flipped nothing to yes")
+	}
+	if direct.FlippedYes != 0 || direct.FlippedNo != 0 {
+		t.Error("direct strategy must not flip")
+	}
+	if !strings.Contains(FormatAblationEvidence(rows), "Yes->No") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationCascade(t *testing.T) {
+	rows, err := AblationCascade(ctx(), "sim-cheap", "sim-gpt-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cheap, strong, cascade := rows[0], rows[1], rows[2]
+	if cascade.Accuracy < cheap.Accuracy {
+		t.Errorf("cascade accuracy (%.3f) below cheap-only (%.3f)", cascade.Accuracy, cheap.Accuracy)
+	}
+	if cascade.Dollars >= strong.Dollars {
+		t.Errorf("cascade cost ($%.5f) should undercut strong-only ($%.5f)", cascade.Dollars, strong.Dollars)
+	}
+	if cascade.StrongCalls == 0 || cascade.StrongCalls >= len(dataset.FlavorNames()) {
+		t.Errorf("cascade should escalate some but not all items: %d", cascade.StrongCalls)
+	}
+	if !strings.Contains(FormatAblationCascade(rows), "cascade") {
+		t.Error("format output broken")
+	}
+}
+
+func TestAblationTemplates(t *testing.T) {
+	rows, err := AblationTemplates(ctx(), []string{"sim-gpt-3.5-turbo", "sim-claude"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 2 models × 3 variants × {plain, cot}
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// CoT rows must cost materially more tokens than their plain twins.
+	plain, cot := 0, 0
+	for _, r := range rows {
+		if strings.HasSuffix(r.Variant, "+cot") {
+			cot += r.TokensUsed
+		} else {
+			plain += r.TokensUsed
+		}
+		if r.Accuracy < 0.3 || r.Accuracy > 1 {
+			t.Errorf("%s/%s accuracy = %.3f", r.Model, r.Variant, r.Accuracy)
+		}
+	}
+	if cot <= plain*2 {
+		t.Errorf("CoT tokens (%d) should far exceed plain (%d)", cot, plain)
+	}
+	if !strings.Contains(FormatAblationTemplates(rows), "Template") {
+		t.Error("format output broken")
+	}
+}

@@ -1,0 +1,178 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// ErrHTTPStatus wraps non-retryable HTTP error statuses from the server.
+var ErrHTTPStatus = errors.New("httpapi: unexpected status")
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// MaxRetries is the number of additional attempts after a retryable
+	// failure (429, 5xx, transport error). Default 3.
+	MaxRetries int
+	// RetryBackoff is the base backoff; attempt i sleeps i*RetryBackoff.
+	// Default 50ms. Tests set it to ~0.
+	RetryBackoff time.Duration
+	// HTTPClient overrides the transport; default http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Client is an llm.Model backed by a remote OpenAI-compatible endpoint.
+type Client struct {
+	baseURL string
+	model   string
+	opts    ClientOptions
+}
+
+// NewClient returns a client for the given model name at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL, model string, opts ClientOptions) *Client {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, model: model, opts: opts}
+}
+
+// Name implements llm.Model.
+func (c *Client) Name() string { return c.model }
+
+// Complete implements llm.Model over HTTP with retry and backoff.
+func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	body, err := json.Marshal(ChatRequest{
+		Model:       c.model,
+		Messages:    []ChatMessage{{Role: "user", Content: req.Prompt}},
+		Temperature: req.Temperature,
+		MaxTokens:   req.MaxTokens,
+		Seed:        req.Seed,
+	})
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("httpapi: encode request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return llm.Response{}, fmt.Errorf("httpapi: %w", ctx.Err())
+			case <-time.After(time.Duration(attempt) * c.opts.RetryBackoff):
+			}
+		}
+		resp, retryable, err := c.once(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return llm.Response{}, lastErr
+}
+
+// once performs a single HTTP round trip. The second return value reports
+// whether the failure is retryable.
+func (c *Client) once(ctx context.Context, body []byte) (llm.Response, bool, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.baseURL+"/v1/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return llm.Response{}, false, fmt.Errorf("httpapi: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.opts.HTTPClient.Do(httpReq)
+	if err != nil {
+		return llm.Response{}, true, fmt.Errorf("httpapi: transport: %w", err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	if err != nil {
+		return llm.Response{}, true, fmt.Errorf("httpapi: read body: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		retryable := httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode >= 500
+		var e apiError
+		msg := string(data)
+		if json.Unmarshal(data, &e) == nil && e.Error.Message != "" {
+			msg = e.Error.Message
+		}
+		return llm.Response{}, retryable,
+			fmt.Errorf("%w %d: %s", ErrHTTPStatus, httpResp.StatusCode, msg)
+	}
+	var chat ChatResponse
+	if err := json.Unmarshal(data, &chat); err != nil {
+		return llm.Response{}, false, fmt.Errorf("httpapi: decode response: %w", err)
+	}
+	if len(chat.Choices) == 0 {
+		return llm.Response{}, false, fmt.Errorf("httpapi: response has no choices")
+	}
+	return llm.Response{
+		Text:  chat.Choices[0].Message.Content,
+		Model: chat.Model,
+		Usage: token.Usage{
+			PromptTokens:     chat.Usage.PromptTokens,
+			CompletionTokens: chat.Usage.CompletionTokens,
+			Calls:            1,
+		},
+	}, false, nil
+}
+
+// EmbedClient is an embed.Embedder backed by the remote /v1/embeddings
+// endpoint. Dimensionality is discovered on first use.
+type EmbedClient struct {
+	baseURL string
+	model   string
+	opts    ClientOptions
+	dim     int
+}
+
+// NewEmbedClient returns an embedding client. dim must match the server's
+// embedder dimensionality and is reported by Dim.
+func NewEmbedClient(baseURL, model string, dim int, opts ClientOptions) *EmbedClient {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	return &EmbedClient{baseURL: baseURL, model: model, opts: opts, dim: dim}
+}
+
+// Dim implements embed.Embedder.
+func (c *EmbedClient) Dim() int { return c.dim }
+
+// Embed implements embed.Embedder. Transport failures return a zero
+// vector: the Embedder interface is infallible by design, and a zero
+// vector is maximally distant from every normalised embedding, which
+// degrades ranking quality without corrupting results.
+func (c *EmbedClient) Embed(text string) []float64 {
+	body, _ := json.Marshal(EmbeddingsRequest{Model: c.model, Input: []string{text}})
+	req, err := http.NewRequest(http.MethodPost, c.baseURL+"/v1/embeddings", bytes.NewReader(body))
+	if err != nil {
+		return make([]float64, c.dim)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return make([]float64, c.dim)
+	}
+	defer resp.Body.Close()
+	var out EmbeddingsResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil || len(out.Data) == 0 {
+		return make([]float64, c.dim)
+	}
+	return out.Data[0].Embedding
+}

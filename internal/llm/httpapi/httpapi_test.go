@@ -1,0 +1,248 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/prompt"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := llm.NewRegistry()
+	reg.Register(sim.NewNamed("sim-gpt-3.5-turbo"))
+	reg.Register(sim.NewNamed("sim-claude-2"))
+	srv := httptest.NewServer(NewServer(reg, embed.Default()).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestChatRoundTrip(t *testing.T) {
+	srv := newTestServer(t)
+	client := NewClient(srv.URL, "sim-gpt-3.5-turbo", ClientOptions{RetryBackoff: 1})
+	p := prompt.ComparePair("triple chocolate", "lemon sorbet", "how chocolatey they are")
+	resp, err := client.Complete(context.Background(), llm.Request{Prompt: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := prompt.ParseChoice(resp.Text)
+	if err != nil {
+		t.Fatalf("unparseable over HTTP: %q", resp.Text)
+	}
+	if choice != "A" {
+		t.Fatalf("choice = %q, want A", choice)
+	}
+	if resp.Usage.PromptTokens == 0 || resp.Usage.CompletionTokens == 0 || resp.Usage.Calls != 1 {
+		t.Fatalf("usage = %+v", resp.Usage)
+	}
+	if resp.Model != "sim-gpt-3.5-turbo" {
+		t.Fatalf("model = %q", resp.Model)
+	}
+}
+
+func TestHTTPMatchesInProcess(t *testing.T) {
+	srv := newTestServer(t)
+	client := NewClient(srv.URL, "sim-claude-2", ClientOptions{RetryBackoff: 1})
+	local := sim.NewNamed("sim-claude-2")
+	p := prompt.SortList([]string{"pear", "apple", "mango"}, "alphabetical order")
+	remote, err := client.Complete(context.Background(), llm.Request{Prompt: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProc, err := local.Complete(context.Background(), llm.Request{Prompt: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Text != inProc.Text {
+		t.Fatalf("remote and in-process responses differ:\n%q\n%q", remote.Text, inProc.Text)
+	}
+	if remote.Usage != inProc.Usage {
+		t.Fatalf("usage differs: %+v vs %+v", remote.Usage, inProc.Usage)
+	}
+}
+
+func TestUnknownModel404(t *testing.T) {
+	srv := newTestServer(t)
+	client := NewClient(srv.URL, "no-such-model", ClientOptions{RetryBackoff: 1})
+	_, err := client.Complete(context.Background(), llm.Request{Prompt: "x"})
+	if !errors.Is(err, ErrHTTPStatus) {
+		t.Fatalf("want ErrHTTPStatus, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want 404 in error, got %v", err)
+	}
+}
+
+func TestMalformedRequest400(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/v1/chat/completions", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error struct{ Type string }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Type != "invalid_request_error" {
+		t.Fatalf("error type = %q", e.Error.Type)
+	}
+}
+
+func TestEmptyMessages400(t *testing.T) {
+	srv := newTestServer(t)
+	body, _ := json.Marshal(ChatRequest{Model: "sim-gpt-3.5-turbo"})
+	resp, err := http.Post(srv.URL+"/v1/chat/completions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRetryOn500ThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	backend := newTestServer(t)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		// Proxy to the real backend handler.
+		resp, err := http.Post(backend.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		w.Write(buf.Bytes())
+	}))
+	defer flaky.Close()
+
+	client := NewClient(flaky.URL, "sim-gpt-3.5-turbo", ClientOptions{MaxRetries: 3, RetryBackoff: 1})
+	p := prompt.RateItem("vanilla bean", "how chocolatey they are", 7)
+	resp, err := client.Complete(context.Background(), llm.Request{Prompt: p})
+	if err != nil {
+		t.Fatalf("retries should recover: %v", err)
+	}
+	if _, err := prompt.ParseRating(resp.Text, 7); err != nil {
+		t.Fatalf("bad response after retry: %q", resp.Text)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestNoRetryOn404(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, "m", ClientOptions{MaxRetries: 3, RetryBackoff: 1})
+	if _, err := client.Complete(context.Background(), llm.Request{Prompt: "x"}); err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 should not be retried; calls = %d", calls.Load())
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	client := NewClient(srv.URL, "m", ClientOptions{MaxRetries: 5, RetryBackoff: 1})
+	_, err := client.Complete(ctx, llm.Request{Prompt: "x"})
+	if err == nil {
+		t.Fatal("want error on cancelled context")
+	}
+}
+
+func TestEmbeddingsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	client := NewEmbedClient(srv.URL, "sim-embedding", embed.DefaultDim, ClientOptions{})
+	if client.Dim() != embed.DefaultDim {
+		t.Fatalf("Dim = %d", client.Dim())
+	}
+	v := client.Embed("golden dragon chinese restaurant")
+	if len(v) != embed.DefaultDim {
+		t.Fatalf("len = %d", len(v))
+	}
+	// Must match the in-process embedder exactly.
+	local := embed.Default().Embed("golden dragon chinese restaurant")
+	for i := range v {
+		if v[i] != local[i] {
+			t.Fatal("remote embedding differs from in-process embedding")
+		}
+	}
+}
+
+func TestEmbeddingsErrorsGiveZeroVector(t *testing.T) {
+	client := NewEmbedClient("http://127.0.0.1:1", "m", 8, ClientOptions{})
+	v := client.Embed("text")
+	if len(v) != 8 {
+		t.Fatalf("len = %d", len(v))
+	}
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("unreachable server should yield zero vector")
+		}
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Data []struct{ ID string }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Data) != 2 {
+		t.Fatalf("models = %+v", out.Data)
+	}
+}
+
+func TestEmbeddingsEmptyInput400(t *testing.T) {
+	srv := newTestServer(t)
+	body, _ := json.Marshal(EmbeddingsRequest{Model: "m"})
+	resp, err := http.Post(srv.URL+"/v1/embeddings", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,217 @@
+// Package httpapi exposes models over an OpenAI-compatible HTTP API and
+// provides the matching client. It is the network substrate of the
+// toolkit: everything the declarative engine does in-process can also run
+// against a remote endpoint (cmd/llmserver), exercising the JSON
+// encoding, retry, and usage-accounting paths a production deployment
+// would use.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/embed"
+	"repro/internal/llm"
+)
+
+// ChatRequest is the wire format of POST /v1/chat/completions (the subset
+// of the OpenAI schema the toolkit uses).
+type ChatRequest struct {
+	Model       string        `json:"model"`
+	Messages    []ChatMessage `json:"messages"`
+	Temperature float64       `json:"temperature"`
+	MaxTokens   int           `json:"max_tokens,omitempty"`
+	Seed        int64         `json:"seed,omitempty"`
+}
+
+// ChatMessage is one conversation turn.
+type ChatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// ChatResponse is the wire format of a successful chat completion.
+type ChatResponse struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+	Usage   Usage    `json:"usage"`
+}
+
+// Choice is one completion alternative (the server always returns one).
+type Choice struct {
+	Index        int         `json:"index"`
+	Message      ChatMessage `json:"message"`
+	FinishReason string      `json:"finish_reason"`
+}
+
+// Usage mirrors the OpenAI usage block.
+type Usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// EmbeddingsRequest is the wire format of POST /v1/embeddings.
+type EmbeddingsRequest struct {
+	Model string   `json:"model"`
+	Input []string `json:"input"`
+}
+
+// EmbeddingsResponse is the wire format of a successful embeddings call.
+type EmbeddingsResponse struct {
+	Object string          `json:"object"`
+	Data   []EmbeddingItem `json:"data"`
+	Model  string          `json:"model"`
+	Usage  Usage           `json:"usage"`
+}
+
+// EmbeddingItem is one embedded input.
+type EmbeddingItem struct {
+	Object    string    `json:"object"`
+	Index     int       `json:"index"`
+	Embedding []float64 `json:"embedding"`
+}
+
+// apiError is the OpenAI-style error envelope.
+type apiError struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// Server serves a model registry and an embedder over the OpenAI wire
+// protocol.
+type Server struct {
+	registry *llm.Registry
+	embedder embed.Embedder
+	nextID   atomic.Int64
+}
+
+// NewServer returns a server over the given registry and embedder. The
+// embedder may be nil, in which case /v1/embeddings returns 404.
+func NewServer(registry *llm.Registry, embedder embed.Embedder) *Server {
+	return &Server{registry: registry, embedder: embedder}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/chat/completions", s.handleChat)
+	mux.HandleFunc("POST /v1/embeddings", s.handleEmbeddings)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	return mux
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	var req ChatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Messages) == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "messages must be non-empty")
+		return
+	}
+	model, err := s.registry.Get(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "model_not_found", err.Error())
+		return
+	}
+	// Concatenate message contents in order; system/user roles are all
+	// instructions to the simulated oracle.
+	var prompt strings.Builder
+	for i, m := range req.Messages {
+		if i > 0 {
+			prompt.WriteString("\n")
+		}
+		prompt.WriteString(m.Content)
+	}
+	resp, err := model.Complete(r.Context(), llm.Request{
+		Prompt:      prompt.String(),
+		Temperature: req.Temperature,
+		MaxTokens:   req.MaxTokens,
+		Seed:        req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "server_error", err.Error())
+		return
+	}
+	out := ChatResponse{
+		ID:     fmt.Sprintf("chatcmpl-%06d", s.nextID.Add(1)),
+		Object: "chat.completion",
+		Model:  resp.Model,
+		Choices: []Choice{{
+			Message:      ChatMessage{Role: "assistant", Content: resp.Text},
+			FinishReason: "stop",
+		}},
+		Usage: Usage{
+			PromptTokens:     resp.Usage.PromptTokens,
+			CompletionTokens: resp.Usage.CompletionTokens,
+			TotalTokens:      resp.Usage.Total(),
+		},
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEmbeddings(w http.ResponseWriter, r *http.Request) {
+	if s.embedder == nil {
+		writeError(w, http.StatusNotFound, "model_not_found", "no embedding model configured")
+		return
+	}
+	var req EmbeddingsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Input) == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "input must be non-empty")
+		return
+	}
+	out := EmbeddingsResponse{Object: "list", Model: req.Model}
+	promptTokens := 0
+	for i, text := range req.Input {
+		out.Data = append(out.Data, EmbeddingItem{
+			Object:    "embedding",
+			Index:     i,
+			Embedding: s.embedder.Embed(text),
+		})
+		promptTokens += len(strings.Fields(text))
+	}
+	out.Usage = Usage{PromptTokens: promptTokens, TotalTokens: promptTokens}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	type modelInfo struct {
+		ID     string `json:"id"`
+		Object string `json:"object"`
+	}
+	var resp struct {
+		Object string      `json:"object"`
+		Data   []modelInfo `json:"data"`
+	}
+	resp.Object = "list"
+	for _, name := range s.registry.Names() {
+		resp.Data = append(resp.Data, modelInfo{ID: name, Object: "model"})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, typ, msg string) {
+	var e apiError
+	e.Error.Message = msg
+	e.Error.Type = typ
+	writeJSON(w, status, e)
+}

@@ -1,0 +1,103 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func echoModel(name string) Func {
+	return Func{
+		ModelName: name,
+		Fn: func(ctx context.Context, req Request) (Response, error) {
+			return Response{
+				Text:  req.Prompt,
+				Model: name,
+				Usage: token.Usage{PromptTokens: 2, CompletionTokens: 2, Calls: 1},
+			}, nil
+		},
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(echoModel("b"))
+	r.Register(echoModel("a"))
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	m, err := r.Get("a")
+	if err != nil || m.Name() != "a" {
+		t.Fatalf("Get = %v, %v", m, err)
+	}
+	if _, err := r.Get("zzz"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("want ErrUnknownModel, got %v", err)
+	}
+	// Re-registering replaces.
+	r.Register(Func{ModelName: "a", Fn: func(ctx context.Context, req Request) (Response, error) {
+		return Response{Text: "replaced"}, nil
+	}})
+	m, _ = r.Get("a")
+	resp, _ := m.Complete(context.Background(), Request{})
+	if resp.Text != "replaced" {
+		t.Fatal("Register should replace")
+	}
+}
+
+func TestCountingModel(t *testing.T) {
+	c := NewCounting(echoModel("m"))
+	if c.Name() != "m" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Complete(context.Background(), Request{Prompt: "hi"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := c.Total()
+	if total.Calls != 3 || total.PromptTokens != 6 {
+		t.Fatalf("Total = %+v", total)
+	}
+	prev := c.Reset()
+	if prev != total {
+		t.Fatalf("Reset returned %+v, want %+v", prev, total)
+	}
+	if !c.Total().IsZero() {
+		t.Fatal("Total after Reset should be zero")
+	}
+}
+
+func TestCountingModelSkipsErrors(t *testing.T) {
+	fail := Func{ModelName: "f", Fn: func(ctx context.Context, req Request) (Response, error) {
+		return Response{Usage: token.Usage{PromptTokens: 100, Calls: 1}}, fmt.Errorf("boom")
+	}}
+	c := NewCounting(fail)
+	_, err := c.Complete(context.Background(), Request{})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !c.Total().IsZero() {
+		t.Fatal("errored calls must not count usage")
+	}
+}
+
+func TestCountingModelConcurrent(t *testing.T) {
+	c := NewCounting(echoModel("m"))
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Complete(context.Background(), Request{Prompt: "x"})
+		}()
+	}
+	wg.Wait()
+	if c.Total().Calls != 50 {
+		t.Fatalf("Calls = %d, want 50", c.Total().Calls)
+	}
+}

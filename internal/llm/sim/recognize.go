@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// taskKind enumerates the unit tasks the oracle understands. The
+// recognisers are keyed to the toolkit's prompt templates
+// (internal/prompt) the way a real model is keyed to instructions.
+type taskKind int
+
+const (
+	taskUnknown taskKind = iota
+	taskSortList
+	taskCompare
+	taskCompareBatch
+	taskRate
+	taskMatch
+	taskImpute
+	taskFilter
+	taskCount
+	taskGroup
+	taskVerify
+	taskCategorize
+	taskDiscover
+)
+
+// task is the structured reading of one prompt.
+type task struct {
+	kind      taskKind
+	criterion string   // sort/compare/rate criterion text
+	items     []string // list items / records
+	a, b      string   // pair members
+	scale     int      // rating scale
+	variant   int      // comparison template variant
+	cot       bool     // chain-of-thought instruction present
+	field     string   // imputation target attribute
+	record    string   // serialized record
+	examples  []exampleIO
+	predicate string // filter/count predicate text
+	question  string // verify: original question
+	answer    string // verify: proposed answer
+	max       int    // discover: category cap
+}
+
+type exampleIO struct{ input, output string }
+
+var (
+	reSortHead    = regexp.MustCompile(`(?s)^Sort the following \d+ items by (.+?), from most to least\.`)
+	reCompareA    = regexp.MustCompile(`(?m)^Item A: (.*)$`)
+	reCompareB    = regexp.MustCompile(`(?m)^Item B: (.*)$`)
+	reCompareCrit = regexp.MustCompile(`Which item ranks higher by (.+?)\? Answer`)
+	reCompareV1   = regexp.MustCompile(`(?s)^You are ranking items by (.+?)\.\nOption A: (.*?)\nOption B: (.*?)\nWhich option ranks higher\?`)
+	reCompareV2   = regexp.MustCompile(`(?s)^Here are two candidates to judge by (.+?)\.\nCandidate A is: (.*?)\nCandidate B is: (.*?)\nName the stronger candidate`)
+	reBatchHead   = regexp.MustCompile(`^For each of the following \d+ pairs, decide which item ranks higher by (.+?)\.`)
+	reBatchPair   = regexp.MustCompile(`(?m)^Pair \d+\. Item A: (.*) \| Item B: (.*)$`)
+	reRateHead    = regexp.MustCompile(`On a scale of 1 \(least\) to (\d+) \(most\), rate the following item by (.+?)\.`)
+	reRateItem    = regexp.MustCompile(`(?m)^Item: (.*)$`)
+	reMatchA      = regexp.MustCompile(`(?m)^Citation A is (.*)$`)
+	reMatchB      = regexp.MustCompile(`(?m)^Citation B is (.*)$`)
+	reImputeRec   = regexp.MustCompile(`(?m)^Record: (.*)\.$`)
+	reImputeField = regexp.MustCompile(`missing attribute "([^"]+)"`)
+	reExample     = regexp.MustCompile(`(?m)^Input: (.*)\nOutput: (.*)$`)
+	reFilterHead  = regexp.MustCompile(`(?s)^Does the following item satisfy the condition: (.+?)\?`)
+	reCountHead   = regexp.MustCompile(`(?s)^Estimate what percentage of the following \d+ items satisfy the condition: (.+?)\.`)
+	reGroupHead   = regexp.MustCompile(`^Group the following \d+ records`)
+	reGroupRec    = regexp.MustCompile(`(?m)^R(\d+): (.*)$`)
+	reVerifyHead  = regexp.MustCompile(`(?s)^A previous assistant was asked:\n(.*)\nIt answered: (.*)\nIs that answer correct\?`)
+	reCatHead     = regexp.MustCompile(`^Assign the following item to exactly one of these categories: (.+?)\.`)
+	reDiscover    = regexp.MustCompile(`^Propose at most (\d+) category names`)
+	reNumbered    = regexp.MustCompile(`(?m)^\d+\. (.*)$`)
+)
+
+// recognise reads the prompt and extracts the structured task. Prompts
+// produced by foreign templates fall through to taskUnknown.
+func recognise(prompt string) task {
+	switch {
+	case reSortHead.MatchString(prompt):
+		m := reSortHead.FindStringSubmatch(prompt)
+		return task{
+			kind:      taskSortList,
+			criterion: m[1],
+			items:     extractNumbered(prompt),
+		}
+	case reBatchHead.MatchString(prompt):
+		m := reBatchHead.FindStringSubmatch(prompt)
+		t := task{kind: taskCompareBatch, criterion: m[1]}
+		for _, pm := range reBatchPair.FindAllStringSubmatch(prompt, -1) {
+			t.items = append(t.items, pm[1], pm[2])
+		}
+		if len(t.items) == 0 {
+			return task{}
+		}
+		return t
+	case strings.HasPrefix(prompt, "Consider the following two items."):
+		a := reCompareA.FindStringSubmatch(prompt)
+		b := reCompareB.FindStringSubmatch(prompt)
+		c := reCompareCrit.FindStringSubmatch(prompt)
+		if a == nil || b == nil || c == nil {
+			return task{}
+		}
+		return task{kind: taskCompare, a: a[1], b: b[1], criterion: c[1], cot: hasCoT(prompt)}
+	case reCompareV1.MatchString(prompt):
+		m := reCompareV1.FindStringSubmatch(prompt)
+		return task{kind: taskCompare, criterion: m[1], a: m[2], b: m[3], variant: 1, cot: hasCoT(prompt)}
+	case reCompareV2.MatchString(prompt):
+		m := reCompareV2.FindStringSubmatch(prompt)
+		return task{kind: taskCompare, criterion: m[1], a: m[2], b: m[3], variant: 2, cot: hasCoT(prompt)}
+	case reRateHead.MatchString(prompt):
+		m := reRateHead.FindStringSubmatch(prompt)
+		it := reRateItem.FindStringSubmatch(prompt)
+		if it == nil {
+			return task{}
+		}
+		scale, _ := strconv.Atoi(m[1])
+		return task{kind: taskRate, scale: scale, criterion: m[2], a: it[1]}
+	case strings.HasPrefix(prompt, "Are Citation A and Citation B the same?"):
+		a := reMatchA.FindStringSubmatch(prompt)
+		b := reMatchB.FindStringSubmatch(prompt)
+		if a == nil || b == nil {
+			return task{}
+		}
+		return task{kind: taskMatch, a: a[1], b: b[1]}
+	case strings.HasPrefix(prompt, "Fill in the missing attribute"):
+		rec := reImputeRec.FindStringSubmatch(prompt)
+		field := reImputeField.FindStringSubmatch(prompt)
+		if rec == nil || field == nil {
+			return task{}
+		}
+		t := task{kind: taskImpute, record: rec[1], field: field[1]}
+		for _, ex := range reExample.FindAllStringSubmatch(prompt, -1) {
+			t.examples = append(t.examples, exampleIO{input: ex[1], output: ex[2]})
+		}
+		return t
+	case reFilterHead.MatchString(prompt):
+		m := reFilterHead.FindStringSubmatch(prompt)
+		it := reRateItem.FindStringSubmatch(prompt) // same "Item: " line
+		if it == nil {
+			return task{}
+		}
+		return task{kind: taskFilter, predicate: m[1], a: it[1]}
+	case reCountHead.MatchString(prompt):
+		m := reCountHead.FindStringSubmatch(prompt)
+		return task{kind: taskCount, predicate: m[1], items: extractNumbered(prompt)}
+	case reGroupHead.MatchString(prompt):
+		var items []string
+		for _, rm := range reGroupRec.FindAllStringSubmatch(prompt, -1) {
+			items = append(items, rm[2])
+		}
+		return task{kind: taskGroup, items: items}
+	case reVerifyHead.MatchString(prompt):
+		m := reVerifyHead.FindStringSubmatch(prompt)
+		return task{kind: taskVerify, question: m[1], answer: strings.TrimSpace(m[2])}
+	case reCatHead.MatchString(prompt):
+		m := reCatHead.FindStringSubmatch(prompt)
+		it := reRateItem.FindStringSubmatch(prompt)
+		if it == nil {
+			return task{}
+		}
+		return task{
+			kind:  taskCategorize,
+			items: splitCategories(m[1]),
+			a:     it[1],
+		}
+	case reDiscover.MatchString(prompt):
+		m := reDiscover.FindStringSubmatch(prompt)
+		max, _ := strconv.Atoi(m[1])
+		return task{kind: taskDiscover, max: max, items: extractNumbered(prompt)}
+	default:
+		return task{}
+	}
+}
+
+func hasCoT(prompt string) bool {
+	return strings.Contains(prompt, "Think step by step")
+}
+
+func extractNumbered(prompt string) []string {
+	var items []string
+	for _, m := range reNumbered.FindAllStringSubmatch(prompt, -1) {
+		items = append(items, m[1])
+	}
+	return items
+}
+
+func splitCategories(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

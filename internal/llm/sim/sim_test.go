@@ -1,0 +1,495 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+)
+
+func complete(t *testing.T, o *Oracle, p string) llm.Response {
+	t.Helper()
+	resp, err := o.Complete(context.Background(), llm.Request{Prompt: p})
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	return resp
+}
+
+func TestDeterministicAtTemperatureZero(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	p := prompt.ComparePair("vanilla bean", "triple chocolate", "how chocolatey they are")
+	r1 := complete(t, o, p)
+	r2, _ := o.Complete(context.Background(), llm.Request{Prompt: p, Seed: 999})
+	if r1.Text != r2.Text {
+		t.Fatal("temperature-0 responses should ignore the seed")
+	}
+}
+
+func TestTemperatureDecorrelatesSeeds(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	// A borderline comparison answered many times at temperature 1 should
+	// not always agree.
+	p := prompt.ComparePair("cookies and cream", "mint chocolate chip", "how chocolatey they are")
+	answers := map[string]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		r, err := o.Complete(context.Background(), llm.Request{Prompt: p, Temperature: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := prompt.ParseChoice(r.Text)
+		if err != nil {
+			t.Fatalf("unparseable: %q", r.Text)
+		}
+		answers[c] = true
+	}
+	if len(answers) != 2 {
+		t.Fatalf("borderline pair at temperature 1 gave only %v", answers)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	p := prompt.RateItem("vanilla bean", "how chocolatey they are", 7)
+	r := complete(t, o, p)
+	if r.Usage.PromptTokens <= 0 || r.Usage.CompletionTokens <= 0 || r.Usage.Calls != 1 {
+		t.Fatalf("usage = %+v", r.Usage)
+	}
+	if r.Model != "sim-gpt-3.5-turbo" {
+		t.Fatalf("model = %q", r.Model)
+	}
+}
+
+func TestMaxTokensTruncates(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	p := prompt.SortList(dataset.FlavorNames(), "how chocolatey they are")
+	r, err := o.Complete(context.Background(), llm.Request{Prompt: p, MaxTokens: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Usage.CompletionTokens > 5 {
+		t.Fatalf("completion exceeded MaxTokens: %d", r.Usage.CompletionTokens)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.Complete(ctx, llm.Request{Prompt: "x"}); err == nil {
+		t.Fatal("cancelled context should error")
+	}
+}
+
+func TestSortFlavorsKeywordFirst(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	p := prompt.SortList(dataset.FlavorNames(), "how chocolatey they are")
+	r := complete(t, o, p)
+	items := prompt.ParseList(r.Text)
+	if len(items) != 20 {
+		t.Fatalf("sorted list has %d items, want 20 (no omission at n=20):\n%s", len(items), r.Text)
+	}
+	// The paper's qualitative finding: "chocolate"-titled flavours lead.
+	lead := items[:6]
+	withKeyword := 0
+	for _, it := range lead {
+		if strings.Contains(it, "chocolate") {
+			withKeyword++
+		}
+	}
+	if withKeyword < 4 {
+		t.Fatalf("only %d of the first 6 are chocolate-titled: %v", withKeyword, lead)
+	}
+}
+
+func TestSortAlphabeticalLongList(t *testing.T) {
+	o := NewNamed("sim-claude-2")
+	words := dataset.RandomWords(100, 1)
+	p := prompt.SortList(words, "alphabetical order")
+	r := complete(t, o, p)
+	items := prompt.ParseList(r.Text)
+	if len(items) < 85 || len(items) > 103 {
+		t.Fatalf("returned %d items for a 100-word sort", len(items))
+	}
+	// Count how many returned items are real (non-hallucinated).
+	in := map[string]bool{}
+	for _, w := range words {
+		in[w] = true
+	}
+	real, fake := 0, 0
+	for _, it := range items {
+		if in[it] {
+			real++
+		} else {
+			fake++
+		}
+	}
+	if real < 88 || real > 100 {
+		t.Fatalf("real items = %d, want a few omissions only", real)
+	}
+	if fake > 4 {
+		t.Fatalf("hallucinated %d items, want 0-2ish", fake)
+	}
+	// The kept real items must be in nearly sorted order.
+	var kept []string
+	for _, it := range items {
+		if in[it] {
+			kept = append(kept, it)
+		}
+	}
+	inversions := 0
+	for i := 0; i+1 < len(kept); i++ {
+		if kept[i] > kept[i+1] {
+			inversions++
+		}
+	}
+	if inversions > 3 {
+		t.Fatalf("kept items have %d adjacent inversions", inversions)
+	}
+}
+
+func TestSortSmallListNoOmission(t *testing.T) {
+	o := NewNamed("sim-claude-2")
+	words := dataset.RandomWords(15, 2)
+	p := prompt.SortList(words, "alphabetical order")
+	items := prompt.ParseList(complete(t, o, p).Text)
+	if len(items) != 15 {
+		t.Fatalf("small list should not lose items: got %d", len(items))
+	}
+}
+
+func TestCompareEasyPairReliable(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	// Maximal score gap: triple chocolate vs lemon sorbet. Over many
+	// prompt variants (decorrelated noise), the easy answer dominates.
+	correct := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		a, b := "triple chocolate", "lemon sorbet"
+		want := "A"
+		if i%2 == 1 {
+			a, b = b, a
+			want = "B"
+		}
+		// Vary criterion phrasing word order? Keep prompts distinct by
+		// swapping; sample both orders.
+		p := prompt.ComparePair(a, b, "how chocolatey they are")
+		c, err := prompt.ParseChoice(complete(t, o, p).Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == want {
+			correct++
+		}
+	}
+	if correct < trials*9/10 {
+		t.Fatalf("easy pair correct only %d/%d", correct, trials)
+	}
+}
+
+func TestCompareAlphabetical(t *testing.T) {
+	o := NewNamed("sim-claude-2")
+	p := prompt.ComparePair("apple", "zebra", "alphabetical order")
+	c, err := prompt.ParseChoice(complete(t, o, p).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != "A" {
+		t.Fatalf("apple should precede zebra, got %q", c)
+	}
+}
+
+func TestRateWithinScale(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	for _, item := range dataset.FlavorNames() {
+		p := prompt.RateItem(item, "how chocolatey they are", 7)
+		r, err := prompt.ParseRating(complete(t, o, p).Text, 7)
+		if err != nil {
+			t.Fatalf("rating unparseable for %q", item)
+		}
+		if r < 1 || r > 7 {
+			t.Fatalf("rating %d out of scale", r)
+		}
+	}
+	// Extremes should separate.
+	top, _ := prompt.ParseRating(complete(t, o, prompt.RateItem("chocolate fudge brownie", "how chocolatey they are", 7)).Text, 7)
+	bottom, _ := prompt.ParseRating(complete(t, o, prompt.RateItem("lemon sorbet", "how chocolatey they are", 7)).Text, 7)
+	if top <= bottom {
+		t.Fatalf("top=%d bottom=%d", top, bottom)
+	}
+}
+
+func TestMatchPairBehaviour(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	same := "J. Wang. indexing the positions of continuously moving objects. SIGMOD Conference, 2002"
+	sameTypo := "J. Wang. indexing the positions of continously moving objects. SIGMOD, 2002"
+	other := "K. Patel. robust sampling for federated learning. KDD, 2015"
+
+	yes, err := prompt.ParseYesNo(complete(t, o, prompt.MatchPair(same, sameTypo)).Text)
+	if err != nil || !yes {
+		t.Fatalf("near-identical citations should match: %v %v", yes, err)
+	}
+	no, err := prompt.ParseYesNo(complete(t, o, prompt.MatchPair(same, other)).Text)
+	if err != nil || no {
+		t.Fatalf("unrelated citations should not match: %v %v", no, err)
+	}
+}
+
+func TestImputeCityFormattingDrift(t *testing.T) {
+	o := NewNamed("sim-claude")
+	rec := "name is golden dragon; addr is 123 broadway; phone is 212-555-0100; type is pizza"
+	// Zero-shot: the model answers in its own display form.
+	p := prompt.Impute(rec, "city", nil)
+	v, err := prompt.ParseValue(complete(t, o, p).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "New York City" && v != "new york" {
+		// Either drifted display form or (rarely) an outright mistake; the
+		// common case must be the display form.
+		t.Logf("zero-shot value = %q", v)
+	}
+	if v == "new york" {
+		t.Fatalf("zero-shot answer should drift to display form, got gold form")
+	}
+	// Few-shot with gold-form examples: the model copies the format.
+	exs := []prompt.Example{
+		{Input: "name is blue cafe; phone is 404-555-0199", Output: "atlanta"},
+		{Input: "name is pike grill; phone is 206-555-0101", Output: "seattle"},
+	}
+	p = prompt.Impute(rec, "city", exs)
+	v, err = prompt.ParseValue(complete(t, o, p).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "new york" {
+		t.Fatalf("few-shot answer = %q, want gold form \"new york\"", v)
+	}
+}
+
+func TestImputeManufacturerFromName(t *testing.T) {
+	o := NewNamed("sim-claude")
+	rec := "name is Garmin nuvi gps X200; description is nuvi gps with model number X200; price is $99.00"
+	exs := []prompt.Example{{Input: "name is Sony bravia lcd tv B300", Output: "Sony"}}
+	v, err := prompt.ParseValue(complete(t, o, prompt.Impute(rec, "manufacturer", exs)).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "Garmin" {
+		t.Fatalf("manufacturer = %q, want Garmin", v)
+	}
+}
+
+func TestImputeUnknownField(t *testing.T) {
+	o := NewNamed("sim-claude")
+	v, err := prompt.ParseValue(complete(t, o, prompt.Impute("a is b", "mystery", nil)).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == "" {
+		t.Fatal("even unknown fields should produce some value")
+	}
+}
+
+func TestFilterObviousItems(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	yes, err := prompt.ParseYesNo(complete(t, o, prompt.FilterItem("triple chocolate", "it is a chocolatey flavor")).Text)
+	if err != nil || !yes {
+		t.Fatalf("triple chocolate should pass the filter: %v %v", yes, err)
+	}
+	no, err := prompt.ParseYesNo(complete(t, o, prompt.FilterItem("lemon sorbet", "it is a chocolatey flavor")).Text)
+	if err != nil || no {
+		t.Fatalf("lemon sorbet should fail the filter: %v %v", no, err)
+	}
+}
+
+func TestCountBatchEstimate(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	items := dataset.FlavorNames()
+	p := prompt.CountBatch(items, "it is a chocolatey flavor")
+	frac, err := prompt.ParsePercent(complete(t, o, p).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True fraction is 10/20 = 0.5; estimate should be in a broad band.
+	if frac < 0.2 || frac > 0.8 {
+		t.Fatalf("estimate %f too far from 0.5", frac)
+	}
+}
+
+func TestGroupRecordsPartition(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	recs := []string{
+		"J. Wang. indexing moving objects. SIGMOD, 2002",
+		"J. Wang. indexing moving objcts. SIGMOD Conference, 2002",
+		"K. Patel. federated learning at scale. KDD, 2015",
+	}
+	groups := prompt.ParseGroups(complete(t, o, prompt.GroupRecords(recs)).Text, len(recs))
+	covered := map[int]bool{}
+	for _, g := range groups {
+		for _, i := range g {
+			covered[i] = true
+		}
+	}
+	if len(covered) != 3 {
+		t.Fatalf("groups do not cover all records: %v", groups)
+	}
+}
+
+func TestVerifyAgreesWithOwnAnswer(t *testing.T) {
+	o := NewNamed("sim-gpt-4")
+	q := prompt.ComparePair("triple chocolate", "lemon sorbet", "how chocolatey they are")
+	own, err := prompt.ParseChoice(complete(t, o, q).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prompt.ParseYesNo(complete(t, o, prompt.Verify(q, own)).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v {
+		t.Fatal("verifier should agree with its own confident answer")
+	}
+	wrong := "A"
+	if own == "A" {
+		wrong = "B"
+	}
+	v, err = prompt.ParseYesNo(complete(t, o, prompt.Verify(q, wrong)).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v {
+		t.Fatal("verifier should reject the opposite answer on an easy pair")
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	o := NewNamed("sim-gpt-4")
+	resp := complete(t, o, prompt.Categorize("chocolate fudge brownie", []string{"chocolate desserts", "fruit desserts"}))
+	if !strings.Contains(resp.Text, "chocolate") {
+		t.Fatalf("categorize = %q", resp.Text)
+	}
+}
+
+func TestDiscoverCategories(t *testing.T) {
+	o := NewNamed("sim-gpt-4")
+	resp := complete(t, o, prompt.DiscoverCategories([]string{"red apple", "green pear", "blue car"}, 2))
+	lines := prompt.ParseList(resp.Text)
+	if len(lines) == 0 || len(lines) > 2 {
+		t.Fatalf("discover = %v", lines)
+	}
+}
+
+func TestUnknownPromptRefusal(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	r := complete(t, o, "please write a poem about databases")
+	if !strings.Contains(r.Text, "don't understand") {
+		t.Fatalf("unknown prompt response = %q", r.Text)
+	}
+}
+
+func TestRegisterCriterion(t *testing.T) {
+	o := NewNamed("sim-gpt-4")
+	o.RegisterCriterion(Criterion{
+		Name:  "length",
+		Match: func(s string) bool { return strings.Contains(s, "text length") },
+		Score: func(item string) (float64, bool) { return float64(len(item)) / 20, true },
+	})
+	p := prompt.ComparePair("aaaaaaaaaaaaaaaaaaaa", "b", "text length")
+	c, err := prompt.ParseChoice(complete(t, o, p).Text)
+	if err != nil || c != "A" {
+		t.Fatalf("custom criterion: %q %v", c, err)
+	}
+}
+
+func TestRegisterPredicate(t *testing.T) {
+	o := NewNamed("sim-gpt-4")
+	o.RegisterPredicate(Predicate{
+		Name:  "long",
+		Match: func(s string) bool { return strings.Contains(s, "is long") },
+		Truth: func(item string) (bool, float64) { return len(item) > 5, 1 },
+	})
+	yes, err := prompt.ParseYesNo(complete(t, o, prompt.FilterItem("abcdefghij", "it is long")).Text)
+	if err != nil || !yes {
+		t.Fatalf("custom predicate: %v %v", yes, err)
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	if s := similarity("abc def", "abc def"); s != 1 {
+		t.Fatalf("self similarity = %f", s)
+	}
+	if s := similarity("abcdefgh", "zzzzyyyy"); s != 0 {
+		t.Fatalf("disjoint similarity = %f", s)
+	}
+	if similarity("a", "a") != 1 {
+		t.Fatal("short identical strings should be similar")
+	}
+	if similarity("", "x") != 0 {
+		t.Fatal("empty vs non-empty should be 0")
+	}
+	a, b := "indexing moving objects", "indexing moving objcts"
+	if s := similarity(a, b); s < 0.5 {
+		t.Fatalf("typo variant similarity = %f, want high", s)
+	}
+}
+
+func TestCompareBatchAnswers(t *testing.T) {
+	o := NewNamed("sim-gpt-3.5-turbo")
+	pairs := []prompt.PairItem{
+		{A: "triple chocolate", B: "lemon sorbet"},
+		{A: "peach cobbler", B: "chocolate fudge brownie"},
+		{A: "9", B: "3"},
+	}
+	p := prompt.CompareBatch(pairs[:2], "how chocolatey they are")
+	answers, err := prompt.ParseChoices(complete(t, o, p).Text, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0] != "A" {
+		t.Errorf("pair 1: got %q, want A (easy gap)", answers[0])
+	}
+	if answers[1] != "B" {
+		t.Errorf("pair 2: got %q, want B (easy gap)", answers[1])
+	}
+	// Numeric criterion works in batches too.
+	p = prompt.CompareBatch(pairs[2:], "numeric value")
+	answers, err = prompt.ParseChoices(complete(t, o, p).Text, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0] != "A" {
+		t.Errorf("numeric pair: got %q, want A", answers[0])
+	}
+}
+
+func TestCompareBatchSkipsOccasionally(t *testing.T) {
+	// Large batches occasionally drop a pair (the long-prompt omission
+	// failure mode); across many decorrelated prompts at least one answer
+	// set should be incomplete, and every response must stay parseable.
+	o := NewNamed("sim-gpt-3.5-turbo")
+	fillers := dataset.FlavorNames()
+	sawSkip := false
+	for trial := 0; trial < 40; trial++ {
+		var pairs []prompt.PairItem
+		for f := 0; f < 12; f++ {
+			pairs = append(pairs, prompt.PairItem{
+				A: fillers[(trial+f)%len(fillers)],
+				B: fillers[(trial+f+9)%len(fillers)],
+			})
+		}
+		answers, err := prompt.ParseChoices(complete(t, o, prompt.CompareBatch(pairs, "how chocolatey they are")).Text, len(pairs))
+		if err != nil {
+			t.Fatalf("trial %d unparseable: %v", trial, err)
+		}
+		if len(answers) < len(pairs) {
+			sawSkip = true
+		}
+	}
+	if !sawSkip {
+		t.Error("no batch ever skipped a pair; omission model inactive")
+	}
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Criterion is one ranking dimension the oracle understands. Match decides
+// whether a criterion string in a prompt refers to it; Score maps an item
+// to the latent score the error models corrupt. Lex marks lexicographic
+// criteria, which the oracle handles by direct string comparison ("most"
+// meaning alphabetically first).
+type Criterion struct {
+	// Name identifies the criterion in diagnostics.
+	Name string
+	// Match reports whether the prompt's criterion text refers to this
+	// criterion.
+	Match func(criterionText string) bool
+	// Score returns the latent score of an item (higher = "more"), and
+	// whether the item is known. Nil for lexicographic criteria.
+	Score func(item string) (float64, bool)
+	// Lex marks a lexicographic (dictionary-order) criterion.
+	Lex bool
+}
+
+// Predicate is one boolean property the oracle can check. Truth returns
+// the noiseless answer plus a margin in [0, 1] expressing how far the item
+// is from the decision boundary (0 = borderline, 1 = obvious); the filter
+// error model flips borderline items more often.
+type Predicate struct {
+	// Name identifies the predicate in diagnostics.
+	Name string
+	// Match reports whether the prompt's predicate text refers to it.
+	Match func(predicateText string) bool
+	// Truth returns the noiseless answer and the decision margin.
+	Truth func(item string) (answer bool, margin float64)
+}
+
+// RegisterCriterion adds a custom ranking dimension. Not safe to call
+// concurrently with Complete.
+func (o *Oracle) RegisterCriterion(c Criterion) { o.criteria = append(o.criteria, c) }
+
+// RegisterPredicate adds a custom boolean property. Not safe to call
+// concurrently with Complete.
+func (o *Oracle) RegisterPredicate(p Predicate) { o.predicates = append(o.predicates, p) }
+
+// criterionFor resolves a prompt's criterion text; the fallback is a
+// hash-free "unknown" criterion scored at 0, which makes the oracle answer
+// arbitrarily but deterministically.
+func (o *Oracle) criterionFor(text string) Criterion {
+	for _, c := range o.criteria {
+		if c.Match(text) {
+			return c
+		}
+	}
+	return Criterion{
+		Name:  "unknown",
+		Match: func(string) bool { return true },
+		Score: func(string) (float64, bool) { return 0, false },
+	}
+}
+
+func (o *Oracle) predicateFor(text string) Predicate {
+	for _, p := range o.predicates {
+		if p.Match(text) {
+			return p
+		}
+	}
+	return Predicate{
+		Name:  "unknown",
+		Match: func(string) bool { return true },
+		Truth: func(string) (bool, float64) { return false, 0 },
+	}
+}
+
+func builtinCriteria() []Criterion {
+	return []Criterion{
+		{
+			Name:  "chocolatey",
+			Match: func(s string) bool { return strings.Contains(strings.ToLower(s), "chocolatey") },
+			Score: func(item string) (float64, bool) {
+				return dataset.FlavorScore(strings.ToLower(strings.TrimSpace(item)))
+			},
+		},
+		{
+			Name:  "alphabetical",
+			Match: func(s string) bool { return strings.Contains(strings.ToLower(s), "alphabetical") },
+			Lex:   true,
+		},
+		{
+			Name:  "numeric",
+			Match: func(s string) bool { return strings.Contains(strings.ToLower(s), "numeric value") },
+			Score: func(item string) (float64, bool) {
+				v, err := strconv.ParseFloat(strings.TrimSpace(item), 64)
+				if err != nil {
+					return 0, false
+				}
+				return v, true
+			},
+		},
+	}
+}
+
+func builtinPredicates() []Predicate {
+	return []Predicate{
+		{
+			Name: "chocolatey-flavor",
+			Match: func(s string) bool {
+				return strings.Contains(strings.ToLower(s), "chocolatey flavor")
+			},
+			Truth: func(item string) (bool, float64) {
+				s, ok := dataset.FlavorScore(strings.ToLower(strings.TrimSpace(item)))
+				if !ok {
+					return false, 0
+				}
+				const threshold = 0.5
+				margin := s - threshold
+				if margin < 0 {
+					margin = -margin
+				}
+				return s > threshold, margin * 2
+			},
+		},
+		{
+			Name: "numeric-positive",
+			Match: func(s string) bool {
+				return strings.Contains(strings.ToLower(s), "positive number")
+			},
+			Truth: func(item string) (bool, float64) {
+				v, err := strconv.ParseFloat(strings.TrimSpace(item), 64)
+				if err != nil {
+					return false, 0
+				}
+				m := v
+				if m < 0 {
+					m = -m
+				}
+				if m > 1 {
+					m = 1
+				}
+				return v > 0, m
+			},
+		},
+	}
+}
+
+// similarity is the oracle's perception of how alike two record texts are:
+// Jaccard overlap of character trigrams on normalised text. It drives the
+// entity-match and grouping answers. Exported via package-level function
+// for tests and calibration.
+func similarity(a, b string) float64 {
+	ta := trigrams(normText(a))
+	tb := trigrams(normText(b))
+	if len(ta) == 0 || len(tb) == 0 {
+		if normText(a) == normText(b) {
+			return 1
+		}
+		return 0
+	}
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func trigrams(s string) map[string]bool {
+	out := make(map[string]bool)
+	r := []rune(s)
+	for i := 0; i+3 <= len(r); i++ {
+		out[string(r[i:i+3])] = true
+	}
+	return out
+}
+
+// restaurantKnowledge answers a city imputation from a serialized
+// restaurant record: the oracle "knows" US metro area codes. It returns
+// the gold-form city and whether the key evidence was found.
+func restaurantKnowledge(serialized string) (string, bool) {
+	// Extract "phone is NNN-..." from the serialization.
+	idx := strings.Index(serialized, "phone is ")
+	if idx < 0 {
+		return "", false
+	}
+	rest := serialized[idx+len("phone is "):]
+	end := strings.IndexAny(rest, ";")
+	if end >= 0 {
+		rest = rest[:end]
+	}
+	code := strings.SplitN(strings.TrimSpace(rest), "-", 2)[0]
+	return dataset.CityForAreaCode(code)
+}
+
+// productSKUKnowledge answers a manufacturer imputation from the SKU
+// prefix of the model number in the description ("model number SN482"),
+// the way a real LLM recognises vendor SKU patterns.
+func productSKUKnowledge(serialized string) (string, bool) {
+	idx := strings.Index(serialized, "model number ")
+	if idx < 0 {
+		return "", false
+	}
+	rest := strings.TrimSpace(serialized[idx+len("model number "):])
+	if end := strings.IndexAny(rest, "; "); end >= 0 {
+		rest = rest[:end]
+	}
+	return dataset.ManufacturerForModelPrefix(rest)
+}
+
+// productKnowledge answers a manufacturer imputation from a serialized
+// product record via the brand token leading the product name.
+func productKnowledge(serialized string) (string, bool) {
+	idx := strings.Index(serialized, "name is ")
+	if idx < 0 {
+		return "", false
+	}
+	rest := serialized[idx+len("name is "):]
+	if end := strings.IndexAny(rest, ";"); end >= 0 {
+		rest = rest[:end]
+	}
+	return dataset.ManufacturerForNameWord(strings.TrimSpace(rest))
+}

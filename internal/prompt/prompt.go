@@ -1,0 +1,427 @@
+// Package prompt is the template library of the toolkit: it renders every
+// unit task the declarative engine issues (sort a list, compare a pair,
+// rate an item, match two records, impute a value, filter, count, group,
+// verify) into plain text, and parses the model's free-text responses back
+// into structured answers.
+//
+// The paper (Section 4, "Mitigating Prompt Brittleness") stresses that
+// reliably extracting an answer from an LLM response is itself a data
+// management problem; the parsers here are deliberately defensive —
+// tolerating explanations, prefixes, re-statements and formatting noise —
+// and return ErrUnparseable when no answer can be extracted so callers can
+// retry or escalate.
+package prompt
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ErrUnparseable reports that no structured answer could be extracted from
+// a model response. Callers typically retry the task or route it to a
+// quality-control fallback.
+var ErrUnparseable = errors.New("prompt: response is unparseable")
+
+// Example is one few-shot demonstration embedded in a prompt.
+type Example struct {
+	// Input is the example task text (e.g. a serialized record).
+	Input string
+	// Output is the desired answer.
+	Output string
+}
+
+// renderExamples produces the canonical few-shot block used by every
+// template. An empty slice renders to "".
+func renderExamples(examples []Example) string {
+	if len(examples) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Here are some examples:\n")
+	for _, ex := range examples {
+		fmt.Fprintf(&b, "Input: %s\nOutput: %s\n", ex.Input, ex.Output)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// SortList renders the one-prompt sorting task: all items in a single
+// prompt, asking for the full ordering, best first.
+func SortList(items []string, criterion string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sort the following %d items by %s, from most to least.\n", len(items), criterion)
+	b.WriteString("Return only the sorted items, one per line, numbered.\n\nItems:\n")
+	for i, it := range items {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, it)
+	}
+	return b.String()
+}
+
+// ComparePair renders a pairwise comparison task. The answer is expected
+// to be "A" or "B".
+func ComparePair(a, b, criterion string) string {
+	return ComparePairVariant(0, a, b, criterion, false)
+}
+
+// CompareTemplateCount is the number of built-in phrasings for the
+// pairwise comparison task. Section 4 of the paper ("Mitigating Prompt
+// Brittleness") observes that slight rewordings shift accuracy and that
+// the effective phrasing differs between models; the toolkit therefore
+// ships several templates and lets the planner pick per model.
+const CompareTemplateCount = 3
+
+// ComparePairVariant renders one of the CompareTemplateCount phrasings of
+// the comparison task. Setting cot appends a chain-of-thought instruction
+// ("think step by step"), which trades longer, costlier responses for
+// accuracy and requires the defensive answer extraction the paper
+// discusses. Variants outside [0, CompareTemplateCount) are reduced
+// modulo the count.
+func ComparePairVariant(variant int, a, b, criterion string, cot bool) string {
+	variant = ((variant % CompareTemplateCount) + CompareTemplateCount) % CompareTemplateCount
+	var body string
+	switch variant {
+	case 0:
+		body = fmt.Sprintf(
+			"Consider the following two items.\nItem A: %s\nItem B: %s\nWhich item ranks higher by %s? Answer with exactly one letter, A or B.\n",
+			a, b, criterion)
+	case 1:
+		body = fmt.Sprintf(
+			"You are ranking items by %s.\nOption A: %s\nOption B: %s\nWhich option ranks higher? Reply with A or B only.\n",
+			criterion, a, b)
+	default:
+		body = fmt.Sprintf(
+			"Here are two candidates to judge by %s.\nCandidate A is: %s\nCandidate B is: %s\nName the stronger candidate (A or B).\n",
+			criterion, a, b)
+	}
+	if cot {
+		body += "Think step by step about your reasoning, then finish with a line of the form \"Answer: A\" or \"Answer: B\".\n"
+	}
+	return body
+}
+
+// RateItem renders a rating task on a 1..scale scale.
+func RateItem(item, criterion string, scale int) string {
+	return fmt.Sprintf(
+		"On a scale of 1 (least) to %d (most), rate the following item by %s.\nItem: %s\nAnswer with a single number.\n",
+		scale, criterion, item)
+}
+
+// MatchPair renders the entity-resolution unit task, using the exact
+// phrasing reported in the paper's Table 3 case study.
+func MatchPair(a, b string) string {
+	return fmt.Sprintf(
+		"Are Citation A and Citation B the same? Yes or No?\nCitation A is %s\nCitation B is %s\nAre Citation A and Citation B the same? Start your response with Yes or No.\n",
+		a, b)
+}
+
+// Impute renders the missing-value imputation task over a serialized
+// record ("a1 is v1; a2 is v2; ..."), optionally with few-shot examples.
+func Impute(serialized, field string, examples []Example) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fill in the missing attribute of a record.\n")
+	b.WriteString(renderExamples(examples))
+	fmt.Fprintf(&b, "Record: %s.\nWhat is the value of the missing attribute %q? Answer with only the value.\n", serialized, field)
+	return b.String()
+}
+
+// FilterItem renders a boolean predicate check on a single item.
+func FilterItem(item, predicate string) string {
+	return fmt.Sprintf(
+		"Does the following item satisfy the condition: %s?\nItem: %s\nAnswer Yes or No.\n",
+		predicate, item)
+}
+
+// CountBatch renders the coarse "eyeball" counting task: estimate the
+// fraction of items satisfying the predicate without checking each one.
+func CountBatch(items []string, predicate string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Estimate what percentage of the following %d items satisfy the condition: %s.\n", len(items), predicate)
+	b.WriteString("Answer with a single percentage.\n\nItems:\n")
+	for i, it := range items {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, it)
+	}
+	return b.String()
+}
+
+// GroupRecords renders the coarse entity-resolution task: partition a
+// batch of records into duplicate groups. Records are labelled R1..Rn and
+// the answer lists groups like "group: R1, R4".
+func GroupRecords(records []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Group the following %d records into sets that refer to the same real-world entity.\n", len(records))
+	b.WriteString("Output one line per group in the form \"group: R1, R4\". Every record must appear in exactly one group.\n\nRecords:\n")
+	for i, r := range records {
+		fmt.Fprintf(&b, "R%d: %s\n", i+1, r)
+	}
+	return b.String()
+}
+
+// Verify renders a follow-up verification task (Section 3.5): ask a model
+// whether a previously produced answer is correct.
+func Verify(question, answer string) string {
+	return fmt.Sprintf(
+		"A previous assistant was asked:\n%s\nIt answered: %s\nIs that answer correct? Answer Yes or No.\n",
+		question, answer)
+}
+
+// Categorize renders a single-item classification task over a closed
+// category set.
+func Categorize(item string, categories []string) string {
+	return fmt.Sprintf(
+		"Assign the following item to exactly one of these categories: %s.\nItem: %s\nAnswer with only the category name.\n",
+		strings.Join(categories, ", "), item)
+}
+
+// DiscoverCategories renders the first phase of two-stage clustering
+// (Section 3.2): propose a small set of category names for a sample of
+// items.
+func DiscoverCategories(items []string, maxCategories int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Propose at most %d category names that partition the following items by topic.\n", maxCategories)
+	b.WriteString("Return only the category names, one per line.\n\nItems:\n")
+	for i, it := range items {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, it)
+	}
+	return b.String()
+}
+
+var (
+	reAnswerMarker = regexp.MustCompile(`(?i)\banswer(?:\s+is)?\s*[:=]?\s*([ab])\b`)
+	reChoiceNoun   = regexp.MustCompile(`(?i)\b(?:item|option|candidate)\s+([ab])\b`)
+	reChoiceUpper  = regexp.MustCompile(`\b([AB])\b`)
+	numberedLine   = regexp.MustCompile(`^\s*\d+[.)]\s*(.+?)\s*$`)
+	ratingRe       = regexp.MustCompile(`-?\d+`)
+	percentRe      = regexp.MustCompile(`(\d+(?:\.\d+)?)\s*%`)
+	groupLineRe    = regexp.MustCompile(`(?i)^\s*group[^:]*:\s*(.+)$`)
+	recordRefRe    = regexp.MustCompile(`(?i)\bR(\d+)\b`)
+)
+
+// ParseList extracts an ordered item list from a response: numbered lines
+// if present, otherwise every non-empty line. Leading chatter lines that
+// end with ':' are skipped.
+func ParseList(response string) []string {
+	var out []string
+	for _, line := range strings.Split(response, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasSuffix(line, ":") {
+			continue
+		}
+		if m := numberedLine.FindStringSubmatch(line); m != nil {
+			out = append(out, m[1])
+		} else {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// ParseChoice extracts an A/B answer. It tolerates responses such as
+// "Item A", "A.", "I choose B because ...", and falls back to the last
+// standalone letter mentioned when the response restates both options
+// (the failure mode the paper observed with chain-of-thought answers).
+func ParseChoice(response string) (string, error) {
+	clean := strings.TrimSpace(response)
+	if clean == "" {
+		return "", fmt.Errorf("empty response: %w", ErrUnparseable)
+	}
+	upper := strings.ToUpper(clean)
+	// Fast path: response begins with the letter.
+	for _, prefix := range []string{"A", "B"} {
+		if strings.HasPrefix(upper, prefix) {
+			rest := upper[len(prefix):]
+			if rest == "" || !isLetter(rest[0]) {
+				return prefix, nil
+			}
+		}
+	}
+	// "Answer: A" / "the answer is b" — the format chain-of-thought
+	// prompts pin; the LAST such marker wins (reasoning may restate both
+	// options before settling, the failure mode the paper reports).
+	if ms := reAnswerMarker.FindAllStringSubmatch(clean, -1); len(ms) > 0 {
+		return strings.ToUpper(ms[len(ms)-1][1]), nil
+	}
+	// "Item A" / "option b" / "candidate A" style.
+	if m := reChoiceNoun.FindStringSubmatch(clean); m != nil {
+		return strings.ToUpper(m[1]), nil
+	}
+	// Last standalone token, case-insensitively — but a lowercase "a" is
+	// almost always the article inside free-form reasoning, so lowercase
+	// letters only count when the response has no other words.
+	if ms := reChoiceUpper.FindAllStringSubmatch(clean, -1); len(ms) > 0 {
+		return ms[len(ms)-1][1], nil
+	}
+	if ms := regexp.MustCompile(`(?i)\b([ab])\b`).FindAllStringSubmatch(clean, -1); len(ms) > 0 && len(strings.Fields(clean)) <= 6 {
+		return strings.ToUpper(ms[len(ms)-1][1]), nil
+	}
+	return "", fmt.Errorf("no A/B choice in %q: %w", clean, ErrUnparseable)
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+// ParseYesNo extracts a boolean from a Yes/No response. Per the paper's
+// prompt design, the leading token is authoritative; if the response does
+// not start with yes/no, the first occurrence anywhere is used.
+func ParseYesNo(response string) (bool, error) {
+	clean := strings.ToLower(strings.TrimSpace(response))
+	if clean == "" {
+		return false, fmt.Errorf("empty response: %w", ErrUnparseable)
+	}
+	if strings.HasPrefix(clean, "yes") {
+		return true, nil
+	}
+	if strings.HasPrefix(clean, "no") {
+		return false, nil
+	}
+	yi := strings.Index(clean, "yes")
+	ni := strings.Index(clean, "no")
+	switch {
+	case yi >= 0 && (ni < 0 || yi < ni):
+		return true, nil
+	case ni >= 0:
+		return false, nil
+	}
+	return false, fmt.Errorf("no yes/no in %q: %w", clean, ErrUnparseable)
+}
+
+// ParseRating extracts an integer rating, clamped to [1, scale].
+func ParseRating(response string, scale int) (int, error) {
+	m := ratingRe.FindString(response)
+	if m == "" {
+		return 0, fmt.Errorf("no rating in %q: %w", response, ErrUnparseable)
+	}
+	v, err := strconv.Atoi(m)
+	if err != nil {
+		return 0, fmt.Errorf("bad rating %q: %w", m, ErrUnparseable)
+	}
+	if v < 1 {
+		v = 1
+	}
+	if v > scale {
+		v = scale
+	}
+	return v, nil
+}
+
+// ParseValue extracts a short free-text answer: the first non-empty line,
+// stripped of common courtesy prefixes ("The value is", "Answer:").
+func ParseValue(response string) (string, error) {
+	for _, line := range strings.Split(response, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for _, prefix := range []string{"answer:", "the value is", "value:", "output:"} {
+			if len(line) > len(prefix) && strings.EqualFold(line[:len(prefix)], prefix) {
+				line = strings.TrimSpace(line[len(prefix):])
+			}
+		}
+		line = strings.Trim(line, `"'.`)
+		if line != "" {
+			return line, nil
+		}
+	}
+	return "", fmt.Errorf("no value line: %w", ErrUnparseable)
+}
+
+// ParsePercent extracts a percentage as a fraction in [0, 1].
+func ParsePercent(response string) (float64, error) {
+	if m := percentRe.FindStringSubmatch(response); m != nil {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err == nil {
+			if v < 0 {
+				v = 0
+			}
+			if v > 100 {
+				v = 100
+			}
+			return v / 100, nil
+		}
+	}
+	// Bare number fallback ("about 40").
+	if m := ratingRe.FindString(response); m != "" {
+		v, err := strconv.ParseFloat(m, 64)
+		if err == nil && v >= 0 && v <= 100 {
+			return v / 100, nil
+		}
+	}
+	return 0, fmt.Errorf("no percentage in %q: %w", response, ErrUnparseable)
+}
+
+// ParseGroups extracts duplicate groups from a GroupRecords response as
+// 0-based record indices. Records mentioned in no group are returned as
+// singletons when total is positive (the caller passes the batch size);
+// indices out of range are dropped.
+func ParseGroups(response string, total int) [][]int {
+	var groups [][]int
+	seen := make(map[int]bool)
+	for _, line := range strings.Split(response, "\n") {
+		m := groupLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var g []int
+		for _, ref := range recordRefRe.FindAllStringSubmatch(m[1], -1) {
+			idx, err := strconv.Atoi(ref[1])
+			if err != nil || idx < 1 || idx > total || seen[idx-1] {
+				continue
+			}
+			seen[idx-1] = true
+			g = append(g, idx-1)
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if !seen[i] {
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
+}
+
+// PairItem is one pair in a batched comparison prompt.
+type PairItem struct {
+	A, B string
+}
+
+// CompareBatch renders several pairwise comparisons in one prompt — the
+// batch-size cost lever of Section 4 ("one can ask the LLM to process a
+// small number of comparison tasks in a single prompt, reducing cost and
+// latency with implication on accuracy"). The answer format is one letter
+// per line, "1: A" style.
+func CompareBatch(pairs []PairItem, criterion string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "For each of the following %d pairs, decide which item ranks higher by %s.\n", len(pairs), criterion)
+	b.WriteString("Answer with one line per pair in the form \"1: A\" or \"1: B\".\n\nPairs:\n")
+	for i, p := range pairs {
+		fmt.Fprintf(&b, "Pair %d. Item A: %s | Item B: %s\n", i+1, p.A, p.B)
+	}
+	return b.String()
+}
+
+var batchAnswerRe = regexp.MustCompile(`(?im)^\s*(?:pair\s*)?(\d+)\s*[:.)-]\s*(?:item\s*)?([AB])\b`)
+
+// ParseChoices extracts the per-pair answers of a CompareBatch response
+// as a map from 0-based pair index to "A"/"B". Pairs the model skipped are
+// absent; out-of-range indices are dropped. An empty result is an
+// ErrUnparseable.
+func ParseChoices(response string, total int) (map[int]string, error) {
+	out := make(map[int]string)
+	for _, m := range batchAnswerRe.FindAllStringSubmatch(response, -1) {
+		idx, err := strconv.Atoi(m[1])
+		if err != nil || idx < 1 || idx > total {
+			continue
+		}
+		out[idx-1] = strings.ToUpper(m[2])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no batch answers in %q: %w", response, ErrUnparseable)
+	}
+	return out, nil
+}

@@ -1,0 +1,390 @@
+// Package workflow provides the execution machinery under the declarative
+// engine: monetary/token budget enforcement (the paper's "within the
+// specified monetary budget"), response caching, bounded-concurrency
+// fan-out, and per-model usage tracing.
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// ErrBudgetExhausted reports that an LLM call was refused because it
+// would exceed the configured budget. Strategies treat it as a terminal
+// condition and return partial results with the error.
+var ErrBudgetExhausted = errors.New("workflow: budget exhausted")
+
+// Budget caps spending across a workflow. The zero value is unlimited;
+// use NewBudget to set caps. Budget is safe for concurrent use.
+type Budget struct {
+	mu sync.Mutex
+	// maxDollars <= 0 means no dollar cap; maxTokens <= 0 no token cap;
+	// maxCalls <= 0 no call cap.
+	maxDollars float64
+	maxTokens  int
+	maxCalls   int
+
+	spentDollars float64
+	spent        token.Usage
+}
+
+// NewBudget returns a budget with the given caps. Any cap <= 0 is
+// unlimited.
+func NewBudget(maxDollars float64, maxTokens, maxCalls int) *Budget {
+	return &Budget{maxDollars: maxDollars, maxTokens: maxTokens, maxCalls: maxCalls}
+}
+
+// Unlimited returns a budget with no caps (but full accounting).
+func Unlimited() *Budget { return &Budget{} }
+
+// Charge records usage billed at the given model's price. It returns
+// ErrBudgetExhausted if the charge pushes any cap strictly over its
+// limit; the charge is still recorded (the call already happened).
+func (b *Budget) Charge(model string, u token.Usage) error {
+	cost := token.PriceFor(model).Cost(u)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spentDollars += cost
+	b.spent = b.spent.Add(u)
+	if b.exceededLocked() {
+		return fmt.Errorf("%w after charging %q: spent $%.4f, %d tokens, %d calls",
+			ErrBudgetExhausted, model, b.spentDollars, b.spent.Total(), b.spent.Calls)
+	}
+	return nil
+}
+
+// Allows reports whether another call of the estimated usage would fit.
+// Strategies call it before issuing work they could skip.
+func (b *Budget) Allows(model string, estimate token.Usage) bool {
+	cost := token.PriceFor(model).Cost(estimate)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.maxDollars > 0 && b.spentDollars+cost > b.maxDollars {
+		return false
+	}
+	if b.maxTokens > 0 && b.spent.Total()+estimate.Total() > b.maxTokens {
+		return false
+	}
+	if b.maxCalls > 0 && b.spent.Calls+estimate.Calls > b.maxCalls {
+		return false
+	}
+	return true
+}
+
+func (b *Budget) exceededLocked() bool {
+	if b.maxDollars > 0 && b.spentDollars > b.maxDollars {
+		return true
+	}
+	if b.maxTokens > 0 && b.spent.Total() > b.maxTokens {
+		return true
+	}
+	if b.maxCalls > 0 && b.spent.Calls > b.maxCalls {
+		return true
+	}
+	return false
+}
+
+// Spent returns the usage and dollars recorded so far.
+func (b *Budget) Spent() (token.Usage, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent, b.spentDollars
+}
+
+// Reset zeroes the accounting, keeping the caps.
+func (b *Budget) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent = token.Usage{}
+	b.spentDollars = 0
+}
+
+// BudgetedModel wraps a model with budget admission control: calls are
+// refused with ErrBudgetExhausted once the budget no longer allows the
+// estimated spend, and every completed call is charged.
+type BudgetedModel struct {
+	inner  llm.Model
+	budget *Budget
+	// EstimateCompletion is the completion-token allowance assumed at
+	// admission time (prompt tokens are measured exactly).
+	EstimateCompletion int
+}
+
+// NewBudgeted wraps m against budget b.
+func NewBudgeted(m llm.Model, b *Budget) *BudgetedModel {
+	return &BudgetedModel{inner: m, budget: b, EstimateCompletion: 64}
+}
+
+// Name implements llm.Model.
+func (m *BudgetedModel) Name() string { return m.inner.Name() }
+
+// Complete implements llm.Model with admission control and charging.
+func (m *BudgetedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	estimate := token.Usage{
+		PromptTokens:     token.Count(req.Prompt),
+		CompletionTokens: m.EstimateCompletion,
+		Calls:            1,
+	}
+	if !m.budget.Allows(m.inner.Name(), estimate) {
+		return llm.Response{}, fmt.Errorf("refusing call to %q: %w", m.inner.Name(), ErrBudgetExhausted)
+	}
+	resp, err := m.inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if cerr := m.budget.Charge(m.inner.Name(), resp.Usage); cerr != nil {
+		// The response is still valid; surface the exhaustion so the
+		// caller stops issuing further work.
+		return resp, cerr
+	}
+	return resp, nil
+}
+
+// cacheKey identifies a completion for caching. Temperature-positive
+// requests include the seed (distinct samples must stay distinct).
+type cacheKey struct {
+	model       string
+	prompt      string
+	temperature float64
+	maxTokens   int
+	seed        int64
+}
+
+// CachedModel wraps a model with a response cache. Identical requests hit
+// the cache and cost nothing — the standard production optimisation for
+// temperature-0 workloads, and what makes re-running experiment sweeps
+// cheap. Safe for concurrent use.
+type CachedModel struct {
+	inner llm.Model
+	mu    sync.Mutex
+	cache map[cacheKey]llm.Response
+	hits  int
+}
+
+// NewCached wraps m with an empty cache.
+func NewCached(m llm.Model) *CachedModel {
+	return &CachedModel{inner: m, cache: make(map[cacheKey]llm.Response)}
+}
+
+// Name implements llm.Model.
+func (c *CachedModel) Name() string { return c.inner.Name() }
+
+// Complete implements llm.Model, serving repeats from cache. Cached
+// responses are returned with zero usage, mirroring that no API call was
+// made.
+func (c *CachedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	key := cacheKey{
+		model:       c.inner.Name(),
+		prompt:      req.Prompt,
+		temperature: req.Temperature,
+		maxTokens:   req.MaxTokens,
+	}
+	if req.Temperature > 0 {
+		key.seed = req.Seed
+	}
+	c.mu.Lock()
+	if resp, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		resp.Usage = token.Usage{}
+		return resp, nil
+	}
+	c.mu.Unlock()
+	resp, err := c.inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	c.cache[key] = resp
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Stats returns cache size and hit count.
+func (c *CachedModel) Stats() (size, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache), c.hits
+}
+
+// Map runs fn over indices 0..n-1 with at most parallelism concurrent
+// invocations and collects the results in index order. The first error
+// cancels outstanding work and is returned alongside the partial results
+// (entries for failed or cancelled indices are the zero value).
+func Map[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	results := make([]T, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop || ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, err := fn(ctx, i)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("workflow: task %d: %w", i, err)
+					cancel()
+				}
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("workflow: %w", ctx.Err())
+	}
+	return results, firstErr
+}
+
+// Trace accumulates per-model usage for reporting. Safe for concurrent
+// use.
+type Trace struct {
+	mu      sync.Mutex
+	byModel map[string]token.Usage
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{byModel: make(map[string]token.Usage)} }
+
+// Record adds usage under the given model name.
+func (t *Trace) Record(model string, u token.Usage) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byModel[model] = t.byModel[model].Add(u)
+}
+
+// Usage returns the usage recorded for one model.
+func (t *Trace) Usage(model string) token.Usage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byModel[model]
+}
+
+// Total returns usage summed across models, and the total dollar cost at
+// list prices.
+func (t *Trace) Total() (token.Usage, float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var u token.Usage
+	var cost float64
+	for model, usage := range t.byModel {
+		u = u.Add(usage)
+		cost += token.PriceFor(model).Cost(usage)
+	}
+	return u, cost
+}
+
+// TracedModel wraps a model so every successful call is recorded in a
+// Trace.
+type TracedModel struct {
+	inner llm.Model
+	trace *Trace
+}
+
+// NewTraced wraps m, recording into tr.
+func NewTraced(m llm.Model, tr *Trace) *TracedModel {
+	return &TracedModel{inner: m, trace: tr}
+}
+
+// Name implements llm.Model.
+func (m *TracedModel) Name() string { return m.inner.Name() }
+
+// Complete implements llm.Model.
+func (m *TracedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := m.inner.Complete(ctx, req)
+	if err == nil {
+		m.trace.Record(m.inner.Name(), resp.Usage)
+	}
+	return resp, err
+}
+
+// cacheEntry is the JSON persistence form of one cached response.
+type cacheEntry struct {
+	Model       string  `json:"model"`
+	Prompt      string  `json:"prompt"`
+	Temperature float64 `json:"temperature,omitempty"`
+	MaxTokens   int     `json:"max_tokens,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Text        string  `json:"text"`
+}
+
+// Save writes the cache contents as JSON, so long experiment sweeps can
+// be resumed across process restarts without re-spending tokens.
+func (c *CachedModel) Save(w io.Writer) error {
+	c.mu.Lock()
+	entries := make([]cacheEntry, 0, len(c.cache))
+	for k, v := range c.cache {
+		entries = append(entries, cacheEntry{
+			Model:       k.model,
+			Prompt:      k.prompt,
+			Temperature: k.temperature,
+			MaxTokens:   k.maxTokens,
+			Seed:        k.seed,
+			Text:        v.Text,
+		})
+	}
+	c.mu.Unlock()
+	// Deterministic order for reproducible files.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Prompt != entries[j].Prompt {
+			return entries[i].Prompt < entries[j].Prompt
+		}
+		return entries[i].Seed < entries[j].Seed
+	})
+	if err := json.NewEncoder(w).Encode(entries); err != nil {
+		return fmt.Errorf("workflow: save cache: %w", err)
+	}
+	return nil
+}
+
+// Load merges previously saved cache contents. Loaded entries carry zero
+// usage, like any cache hit. Entries for other model names are kept too
+// (the key includes the model), so one file can serve a registry.
+func (c *CachedModel) Load(r io.Reader) error {
+	var entries []cacheEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("workflow: load cache: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		key := cacheKey{
+			model:       e.Model,
+			prompt:      e.Prompt,
+			temperature: e.Temperature,
+			maxTokens:   e.MaxTokens,
+			seed:        e.Seed,
+		}
+		c.cache[key] = llm.Response{Text: e.Text, Model: e.Model}
+	}
+	return nil
+}
