@@ -40,6 +40,9 @@ func main() {
 	pairs := sub.Int("pairs", 5742, "labelled pair count for table3")
 	trials := sub.Int("trials", 3, "trial count for table2")
 	words := sub.Int("words", 100, "words per trial for table2")
+	items := sub.Int("items", 60, "workload width for exec-layer")
+	repeats := sub.Int("repeats", 3, "workload repeats for exec-layer")
+	batch := sub.Int("batch", 8, "unit tasks per envelope for exec-layer")
 	sub.Parse(flag.Args()[1:])
 
 	ctx := context.Background()
@@ -158,6 +161,18 @@ func main() {
 		fmt.Print(experiments.FormatAblationTemplates(rows))
 		return nil
 	}
+	execLayer := func() error {
+		cfg := experiments.DefaultExecLayerConfig()
+		cfg.Items = *items
+		cfg.Repeats = *repeats
+		cfg.Batch = *batch
+		rows, err := experiments.ExecLayerStudy(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatExecLayerStudy(rows))
+		return nil
+	}
 	ablateFilter := func() error {
 		rows, err := experiments.AblationFilter(ctx, "sim-cheap", 7)
 		if err != nil {
@@ -194,6 +209,8 @@ func main() {
 		run("Ablation A8: model cascade", ablateCascade)
 	case "ablate-templates":
 		run("Ablation A9: template brittleness", ablateTemplates)
+	case "exec-layer":
+		run("Execution layer: shared cache + coalescing + batching", execLayer)
 	case "all":
 		run("Table 1: sorting 20 flavours", table1)
 		run("Table 2: sorting 100 words (sort then insert)", table2)
@@ -208,6 +225,7 @@ func main() {
 		run("Ablation A7: evidence-based flipping", ablateEvidence)
 		run("Ablation A8: model cascade", ablateCascade)
 		run("Ablation A9: template brittleness", ablateTemplates)
+		run("Execution layer: shared cache + coalescing + batching", execLayer)
 	default:
 		usage()
 		os.Exit(2)
@@ -233,6 +251,8 @@ commands:
   ablate-evidence      A7: evidence-based edge flipping
   ablate-cascade       A8: cheap->strong model cascade
   ablate-templates     A9: comparison-template brittleness
+  exec-layer      shared cache + coalescing + batching on a repeated
+                  workload (-items N -repeats N -batch K)
   all             run everything
 `)
 }

@@ -57,6 +57,15 @@ type Option = core.Option
 // Budget caps the dollar/token/call spend of a workflow.
 type Budget = workflow.Budget
 
+// ExecLayer is the shared high-throughput execution substrate: one
+// sharded response cache plus one in-flight coalescer spanning every
+// engine attached to it via WithExecutionLayer. ExecStats snapshots its
+// counters.
+type (
+	ExecLayer = workflow.ExecLayer
+	ExecStats = workflow.ExecStats
+)
+
 // Operator request/result types.
 type (
 	SortRequest        = core.SortRequest
@@ -152,6 +161,17 @@ func WithBudget(b *Budget) Option { return core.WithBudget(b) }
 
 // WithParallelism bounds concurrent model calls.
 func WithParallelism(p int) Option { return core.WithParallelism(p) }
+
+// WithExecutionLayer attaches a shared execution layer (see NewExecLayer).
+func WithExecutionLayer(l *ExecLayer) Option { return core.WithExecutionLayer(l) }
+
+// WithBatching packs up to k compatible unit tasks into one prompt for
+// the strategies that issue homogeneous per-item tasks.
+func WithBatching(k int) Option { return core.WithBatching(k) }
+
+// NewExecLayer returns a shared execution layer; pass it to any number of
+// engines via WithExecutionLayer so one cache and coalescer span them all.
+func NewExecLayer() *ExecLayer { return workflow.NewExecLayer() }
 
 // NewBudget returns a budget; caps <= 0 are unlimited.
 func NewBudget(maxDollars float64, maxTokens, maxCalls int) *Budget {

@@ -64,7 +64,10 @@ func (e *Engine) Categorize(ctx context.Context, req CategorizeRequest) (Categor
 	if req.MaxCategories == 0 {
 		req.MaxCategories = 5
 	}
-	s := e.newSession()
+	// The assignment fan-out issues one homogeneous unit task per item;
+	// the lone discovery call of the two-phase strategy just rides through
+	// as a batch of one.
+	s := e.newBatchedSession()
 	categories := req.Categories
 	if req.Strategy == CategorizeTwoPhase {
 		sample := dataset.Sample(req.Items, req.SampleSize, req.Seed)

@@ -35,6 +35,8 @@ type Engine struct {
 	parallelism int
 	retries     int
 	cache       bool
+	exec        *workflow.ExecLayer
+	batch       int
 }
 
 // Option configures an Engine.
@@ -69,6 +71,24 @@ func WithoutCache() Option {
 	return func(e *Engine) { e.cache = false }
 }
 
+// WithExecutionLayer attaches a shared execution layer: one sharded
+// response cache plus one in-flight coalescer spanning every operator
+// this engine runs — and every other engine given the same layer. It
+// replaces the default per-invocation cache; WithoutCache is ignored
+// while a layer is attached.
+func WithExecutionLayer(l *workflow.ExecLayer) Option {
+	return func(e *Engine) { e.exec = l }
+}
+
+// WithBatching packs up to k compatible unit tasks into one multi-task
+// prompt for the strategies that issue homogeneous per-item tasks
+// (per-item filter, categorize assignment, LLM imputation). k <= 1
+// disables batching (the default). See workflow.BatchingModel for the
+// splitting and retry semantics.
+func WithBatching(k int) Option {
+	return func(e *Engine) { e.batch = k }
+}
+
 // New returns an engine using the given model.
 func New(model llm.Model, opts ...Option) *Engine {
 	e := &Engine{
@@ -89,16 +109,33 @@ func New(model llm.Model, opts ...Option) *Engine {
 func (e *Engine) Model() llm.Model { return e.model }
 
 // session wraps the engine's model for one operator invocation: budget
-// admission, optional cache, and usage counting scoped to the operation.
+// admission, usage counting scoped to the operation, optional unit-task
+// batching, and a cache — the engine's shared execution layer when one is
+// attached, a private per-invocation cache otherwise.
 type session struct {
 	model    llm.Model
 	counting *llm.CountingModel
 }
 
-func (e *Engine) newSession() *session {
-	var m llm.Model = llm.NewCounting(workflow.NewBudgeted(e.model, e.budget))
-	counting := m.(*llm.CountingModel)
-	if e.cache {
+func (e *Engine) newSession() *session { return e.sessionWith(false) }
+
+// newBatchedSession is the opt-in entry for strategies whose fan-out
+// issues homogeneous unit tasks: when the engine has batching enabled,
+// concurrent tasks are packed into multi-task prompts. Usage counting
+// sits below the batcher, so s.usage() reports the real (reduced)
+// envelope spend.
+func (e *Engine) newBatchedSession() *session { return e.sessionWith(true) }
+
+func (e *Engine) sessionWith(batchable bool) *session {
+	counting := llm.NewCounting(workflow.NewBudgeted(e.model, e.budget))
+	var m llm.Model = counting
+	if batchable && e.batch > 1 {
+		m = workflow.NewBatching(m, workflow.BatchOptions{MaxBatch: e.batch})
+	}
+	switch {
+	case e.exec != nil:
+		m = e.exec.Wrap(m)
+	case e.cache:
 		m = workflow.NewCached(m)
 	}
 	return &session{model: m, counting: counting}

@@ -77,7 +77,10 @@ func (e *Engine) Filter(ctx context.Context, req FilterRequest) (FilterResult, e
 	if req.Temperature == 0 {
 		req.Temperature = 0.7
 	}
-	s := e.newSession()
+	// Per-item checks are homogeneous temperature-0 unit tasks — the
+	// batchable shape. The sampling strategies re-roll with per-ask seeds,
+	// which would never share an envelope, so they skip the batcher.
+	s := e.sessionWith(req.Strategy == FilterPerItem)
 	res := FilterResult{Keep: make([]bool, len(req.Items))}
 	answers, err := e.mapIdx(ctx, len(req.Items), func(ctx context.Context, i int) (string, error) {
 		p := prompt.FilterItem(req.Items[i], req.Predicate)

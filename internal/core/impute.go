@@ -96,7 +96,9 @@ func (e *Engine) Impute(ctx context.Context, req ImputeRequest) (ImputeResult, e
 		targets[r.ID] = v
 	}
 
-	s := e.newSession()
+	// Imputation prompts are homogeneous per-record unit tasks (the knn
+	// strategy issues none, so the wrapper is inert there).
+	s := e.newBatchedSession()
 	res := ImputeResult{Values: make([]string, len(req.Queries))}
 
 	type knnInfo struct {

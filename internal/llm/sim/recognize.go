@@ -73,6 +73,38 @@ var (
 	reNumbered    = regexp.MustCompile(`(?m)^\d+\. (.*)$`)
 )
 
+var (
+	reEnvelopeHead = regexp.MustCompile(`^Below are \d+ independent tasks\.`)
+	reEnvelopeTask = regexp.MustCompile(`(?m)^### Task \d+[ \t]*$`)
+)
+
+// splitEnvelope returns the sub-prompts embedded in a multi-task batch
+// envelope (internal/prompt.TaskBatch) in order, or ok=false for any
+// other prompt. Sub-prompts are recovered byte-for-byte — each runs from
+// the character after its header line to the start of the next header —
+// so the oracle can answer them exactly as it would standalone.
+func splitEnvelope(prompt string) (subs []string, ok bool) {
+	if !reEnvelopeHead.MatchString(prompt) {
+		return nil, false
+	}
+	locs := reEnvelopeTask.FindAllStringIndex(prompt, -1)
+	if len(locs) == 0 {
+		return nil, false
+	}
+	for i, loc := range locs {
+		start := loc[1]
+		if start < len(prompt) && prompt[start] == '\n' {
+			start++
+		}
+		end := len(prompt)
+		if i+1 < len(locs) {
+			end = locs[i+1][0]
+		}
+		subs = append(subs, prompt[start:end])
+	}
+	return subs, true
+}
+
 // recognise reads the prompt and extracts the structured task. Prompts
 // produced by foreign templates fall through to taskUnknown.
 func recognise(prompt string) task {

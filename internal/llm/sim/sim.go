@@ -205,8 +205,12 @@ func (o *Oracle) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 	if err := ctx.Err(); err != nil {
 		return llm.Response{}, fmt.Errorf("sim: %w", err)
 	}
-	rng := o.rng(req)
-	text := o.answer(req.Prompt, rng, req.Temperature)
+	var text string
+	if subs, ok := splitEnvelope(req.Prompt); ok {
+		text = o.answerEnvelope(req, subs)
+	} else {
+		text = o.answer(req.Prompt, o.rng(req), req.Temperature)
+	}
 	if req.MaxTokens > 0 {
 		text = token.TruncateToTokens(text, req.MaxTokens)
 	}
@@ -233,6 +237,29 @@ func (o *Oracle) rng(req llm.Request) *rand.Rand {
 		fmt.Fprintf(h, "|seed=%d", req.Seed)
 	}
 	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// answerEnvelope answers a multi-task batch envelope section by section.
+// Each embedded task gets the noise source its standalone prompt would
+// get, so batched answers are bit-identical to unbatched ones — the model
+// reads each task independently, exactly as the execution layer's
+// batching contract assumes. The envelope-level rng drives only the skip
+// noise: like real models on long batches, the oracle occasionally drops
+// a section (BatchSkipPerPair per additional task), which exercises the
+// batcher's solo-retry path without perturbing the surviving answers.
+func (o *Oracle) answerEnvelope(req llm.Request, subs []string) string {
+	envRng := o.rng(req)
+	skipP := o.cfg.BatchSkipPerPair * float64(len(subs)-1)
+	var b strings.Builder
+	for i, sub := range subs {
+		if len(subs) > 1 && envRng.Float64() < skipP {
+			continue
+		}
+		subReq := req
+		subReq.Prompt = sub
+		fmt.Fprintf(&b, "### Task %d\n%s\n", i+1, o.answer(sub, o.rng(subReq), req.Temperature))
+	}
+	return b.String()
 }
 
 // answer dispatches on the recognised task. Unrecognised prompts receive

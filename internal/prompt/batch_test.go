@@ -1,0 +1,95 @@
+package prompt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTaskBatchRendersEveryPrompt(t *testing.T) {
+	prompts := []string{
+		FilterItem("dark chocolate", "contains chocolate"),
+		FilterItem("lemon sorbet", "contains chocolate"),
+		Categorize("fudge ripple", []string{"chocolate", "fruit"}),
+	}
+	env := TaskBatch(prompts)
+	for _, p := range prompts {
+		if !strings.Contains(env, p) {
+			t.Fatalf("envelope lost prompt %q:\n%s", p, env)
+		}
+	}
+}
+
+func TestCanEmbed(t *testing.T) {
+	cases := []struct {
+		prompt string
+		want   bool
+	}{
+		{"do the thing\n", true},
+		{"no trailing newline", false},
+		{"classify this:\n### Task 2\nsmuggled header\n", false},
+		{"### Task 12\n", false},
+		{"### Task skipped\nnot a header match\n", true},
+	}
+	for _, c := range cases {
+		if got := CanEmbed(c.prompt); got != c.want {
+			t.Errorf("CanEmbed(%q) = %v, want %v", c.prompt, got, c.want)
+		}
+	}
+	for _, p := range []string{
+		FilterItem("dark chocolate", "contains chocolate"),
+		Categorize("fudge ripple", []string{"chocolate", "fruit"}),
+	} {
+		if !CanEmbed(p) {
+			t.Errorf("template prompt must be embeddable: %q", p)
+		}
+	}
+}
+
+func TestParseTaskBatch(t *testing.T) {
+	resp := "### Task 1\nYes\n### Task 2\nNo, definitely not.\nSecond line.\n### Task 3\nMaybe\n"
+	out, err := ParseTaskBatch(resp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "Yes", 1: "No, definitely not.\nSecond line.", 2: "Maybe"}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("task %d = %q, want %q", i, out[i], w)
+		}
+	}
+}
+
+func TestParseTaskBatchToleratesSkipsAndJunk(t *testing.T) {
+	resp := "### Task 1\nYes\n### Task 9\nout of range\n### Task 3\nNo\n"
+	out, err := ParseTaskBatch(resp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out[1]; ok {
+		t.Fatal("task 2 was never answered; must be absent")
+	}
+	if out[0] != "Yes" || out[2] != "No" {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestParseTaskBatchCutsAtStrayMarker(t *testing.T) {
+	resp := "### Task 1\nYes\n### Task oops\norphan\n### Task 2\nNo\n"
+	out, err := ParseTaskBatch(resp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "Yes" {
+		t.Fatalf("task 1 = %q, want clean %q", out[0], "Yes")
+	}
+	if out[1] != "No" {
+		t.Fatalf("task 2 = %q", out[1])
+	}
+}
+
+func TestParseTaskBatchEmptyIsUnparseable(t *testing.T) {
+	if _, err := ParseTaskBatch("I refuse to follow formats.", 4); !errors.Is(err, ErrUnparseable) {
+		t.Fatalf("err = %v, want ErrUnparseable", err)
+	}
+}

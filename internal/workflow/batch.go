@@ -1,0 +1,230 @@
+package workflow
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/prompt"
+)
+
+// BatchOptions configures a BatchingModel.
+type BatchOptions struct {
+	// MaxBatch is the most unit tasks packed into one envelope prompt
+	// (default 8). Values <= 1 disable packing.
+	MaxBatch int
+	// Linger is how long the first request of a forming batch waits for
+	// company before the batch is flushed anyway (default 2ms). The
+	// trade-off is latency on straggler tasks versus packing density.
+	Linger time.Duration
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 8
+	}
+	if o.Linger == 0 {
+		o.Linger = 2 * time.Millisecond
+	}
+	return o
+}
+
+// batchGroup is the compatibility key of a forming batch: only requests
+// that agree on sampling parameters may share an envelope, because the
+// envelope is issued as a single request carrying those parameters.
+// (Requests with a MaxTokens cap never enter a group — see Complete.)
+type batchGroup struct {
+	temperature float64
+	seed        int64
+}
+
+// batchResult is delivered to one waiting caller.
+type batchResult struct {
+	resp llm.Response
+	err  error
+}
+
+// batchItem is one enqueued unit task.
+type batchItem struct {
+	ctx context.Context
+	req llm.Request
+	ch  chan batchResult
+}
+
+// batchQueue is the forming batch of one compatibility group.
+type batchQueue struct {
+	items []*batchItem
+	timer *time.Timer
+}
+
+// BatchingModel packs concurrently issued unit tasks into multi-task
+// envelope prompts (prompt.TaskBatch) and splits the completion back into
+// per-task responses. Under workflow.Map's fan-out, K compatible unit
+// tasks cost one upstream round-trip instead of K.
+//
+// Requests accumulate per compatibility group (temperature, seed); a
+// group flushes when it reaches MaxBatch or when the oldest
+// request has lingered for Linger. A batch of one is issued verbatim, so
+// stragglers pay only latency, never a changed prompt. Tasks whose answer
+// section is missing or unsplittable are re-issued individually with their
+// original prompt — the retry path — so a malformed batched completion
+// degrades to per-task cost, never to a wrong or lost answer. At
+// temperature 0 this makes batched results identical to unbatched ones
+// whenever the upstream model answers each embedded task as it would
+// standalone (the simulator guarantees this; see docs/EXECUTION.md).
+//
+// Split responses carry zero usage: the envelope call's real usage is
+// observed by whatever accounting wraps the inner model (counting, budget,
+// trace), exactly once.
+type BatchingModel struct {
+	inner llm.Model
+	opts  BatchOptions
+
+	mu      sync.Mutex
+	queues  map[batchGroup]*batchQueue
+	batches int // envelopes issued
+	packed  int // unit tasks that travelled inside an envelope
+	retried int // unit tasks re-issued solo after a bad split
+}
+
+// NewBatching wraps m with batching under the given options.
+func NewBatching(m llm.Model, opts BatchOptions) *BatchingModel {
+	return &BatchingModel{
+		inner:  m,
+		opts:   opts.withDefaults(),
+		queues: make(map[batchGroup]*batchQueue),
+	}
+}
+
+// Name implements llm.Model.
+func (b *BatchingModel) Name() string { return b.inner.Name() }
+
+// Stats returns how many envelopes were issued, how many unit tasks rode
+// in them, and how many fell back to a solo retry.
+func (b *BatchingModel) Stats() (batches, packed, retried int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batches, b.packed, b.retried
+}
+
+// Complete implements llm.Model. Two kinds of request are passed through
+// verbatim rather than batched: prompts that cannot be embedded in an
+// envelope losslessly (prompt.CanEmbed — unterminated, or containing a
+// section-header-shaped line of their own), and requests with a MaxTokens
+// cap — a pooled envelope cap cannot reproduce standalone per-call
+// truncation, so a capped section could come back silently shortened
+// instead of taking the retry path.
+func (b *BatchingModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if b.opts.MaxBatch <= 1 || req.MaxTokens > 0 || !prompt.CanEmbed(req.Prompt) {
+		return b.inner.Complete(ctx, req)
+	}
+	item := &batchItem{ctx: ctx, req: req, ch: make(chan batchResult, 1)}
+	group := batchGroup{temperature: req.Temperature}
+	if req.Temperature > 0 {
+		group.seed = req.Seed
+	}
+
+	b.mu.Lock()
+	q := b.queues[group]
+	if q == nil {
+		q = &batchQueue{}
+		b.queues[group] = q
+		q.timer = time.AfterFunc(b.opts.Linger, func() { b.flushGroup(group, q) })
+	}
+	q.items = append(q.items, item)
+	if len(q.items) >= b.opts.MaxBatch {
+		items := b.detachLocked(group, q)
+		b.mu.Unlock()
+		b.flush(items)
+	} else {
+		b.mu.Unlock()
+	}
+
+	select {
+	case r := <-item.ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The flush will still deliver into the buffered channel; nothing
+		// leaks. The upstream call (if any) runs on the batch leader's
+		// context.
+		return llm.Response{}, ctx.Err()
+	}
+}
+
+// detachLocked removes q from the forming set and stops its timer. Callers
+// hold b.mu.
+func (b *BatchingModel) detachLocked(group batchGroup, q *batchQueue) []*batchItem {
+	if b.queues[group] == q {
+		delete(b.queues, group)
+	}
+	q.timer.Stop()
+	return q.items
+}
+
+// flushGroup is the linger-timer path: detach whatever has accumulated and
+// flush it. A size-triggered flush may have emptied the group already.
+func (b *BatchingModel) flushGroup(group batchGroup, q *batchQueue) {
+	b.mu.Lock()
+	if b.queues[group] != q {
+		b.mu.Unlock()
+		return
+	}
+	items := b.detachLocked(group, q)
+	b.mu.Unlock()
+	b.flush(items)
+}
+
+// flush issues one envelope for the items (or a verbatim call for a batch
+// of one), splits the completion, and delivers per-item results. The first
+// item's context drives the upstream call — in practice every item of a
+// batch comes from one operator fan-out sharing a context.
+func (b *BatchingModel) flush(items []*batchItem) {
+	if len(items) == 0 {
+		return
+	}
+	if len(items) == 1 {
+		it := items[0]
+		resp, err := b.inner.Complete(it.ctx, it.req)
+		it.ch <- batchResult{resp: resp, err: err}
+		return
+	}
+
+	ctx := items[0].ctx
+	prompts := make([]string, len(items))
+	for i, it := range items {
+		prompts[i] = it.req.Prompt
+	}
+	breq := llm.Request{
+		Prompt:      prompt.TaskBatch(prompts),
+		Temperature: items[0].req.Temperature,
+		Seed:        items[0].req.Seed,
+	}
+	resp, err := b.inner.Complete(ctx, breq)
+	if err != nil {
+		for _, it := range items {
+			it.ch <- batchResult{err: err}
+		}
+		return
+	}
+	b.mu.Lock()
+	b.batches++
+	b.packed += len(items)
+	b.mu.Unlock()
+
+	answers, perr := prompt.ParseTaskBatch(resp.Text, len(items))
+	for i, it := range items {
+		answer, ok := answers[i]
+		if perr != nil || !ok {
+			// Retry path: the model skipped or garbled this task's section;
+			// re-issue it alone with its original prompt.
+			b.mu.Lock()
+			b.retried++
+			b.mu.Unlock()
+			solo, serr := b.inner.Complete(it.ctx, it.req)
+			it.ch <- batchResult{resp: solo, err: serr}
+			continue
+		}
+		it.ch <- batchResult{resp: llm.Response{Text: answer, Model: resp.Model}}
+	}
+}

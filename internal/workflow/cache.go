@@ -1,0 +1,232 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// DefaultCacheShards is the shard count used by NewCache(0) and NewCached.
+// Sixteen shards keep lock contention negligible at the engine's default
+// parallelism while costing nothing at low concurrency.
+const DefaultCacheShards = 16
+
+// cacheKey identifies a completion for caching and coalescing.
+// Temperature-positive requests include the seed (distinct samples must
+// stay distinct).
+type cacheKey struct {
+	model       string
+	prompt      string
+	temperature float64
+	maxTokens   int
+	seed        int64
+}
+
+// keyFor derives the cache/coalesce identity of a request against a model.
+func keyFor(model string, req llm.Request) cacheKey {
+	key := cacheKey{
+		model:       model,
+		prompt:      req.Prompt,
+		temperature: req.Temperature,
+		maxTokens:   req.MaxTokens,
+	}
+	if req.Temperature > 0 {
+		key.seed = req.Seed
+	}
+	return key
+}
+
+// cacheShard is one lock domain of a Cache. hits is atomic so the hot
+// path (a hit) completes entirely under the read lock.
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]llm.Response
+	hits    atomic.Int64
+}
+
+// Cache is a sharded, concurrency-safe response store. Keys are spread
+// across shards by a hash of the prompt, so concurrent lookups under
+// workflow.Map's parallelism contend per shard rather than on one global
+// mutex. A Cache can back any number of CachedModel wrappers at once —
+// the key includes the model name — which is how one cache spans every
+// operator of a session (see ExecLayer).
+type Cache struct {
+	shards []cacheShard
+}
+
+// NewCache returns an empty cache with the given shard count; shards <= 0
+// selects DefaultCacheShards.
+func NewCache(shards int) *Cache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	c := &Cache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]llm.Response)
+	}
+	return c
+}
+
+// shard picks the lock domain of a key. Only the prompt and model feed the
+// hash: temperature/seed variants of one prompt are rare enough that
+// spreading them further buys nothing.
+func (c *Cache) shard(key cacheKey) *cacheShard {
+	h := fnv.New64a()
+	h.Write([]byte(key.model))
+	h.Write([]byte{0})
+	h.Write([]byte(key.prompt))
+	return &c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// get returns the cached response for key, counting a hit.
+func (c *Cache) get(key cacheKey) (llm.Response, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	resp, ok := s.entries[key]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	}
+	return resp, ok
+}
+
+// put stores a response under key.
+func (c *Cache) put(key cacheKey, resp llm.Response) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.entries[key] = resp
+	s.mu.Unlock()
+}
+
+// Stats returns the total entry and hit counts across shards.
+func (c *Cache) Stats() (size, hits int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		size += len(s.entries)
+		s.mu.RUnlock()
+		hits += int(s.hits.Load())
+	}
+	return size, hits
+}
+
+// cacheEntry is the JSON persistence form of one cached response.
+type cacheEntry struct {
+	Model       string  `json:"model"`
+	Prompt      string  `json:"prompt"`
+	Temperature float64 `json:"temperature,omitempty"`
+	MaxTokens   int     `json:"max_tokens,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Text        string  `json:"text"`
+}
+
+// Save writes the cache contents as JSON, so long experiment sweeps can be
+// resumed across process restarts without re-spending tokens.
+func (c *Cache) Save(w io.Writer) error {
+	var entries []cacheEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.entries {
+			entries = append(entries, cacheEntry{
+				Model:       k.model,
+				Prompt:      k.prompt,
+				Temperature: k.temperature,
+				MaxTokens:   k.maxTokens,
+				Seed:        k.seed,
+				Text:        v.Text,
+			})
+		}
+		s.mu.RUnlock()
+	}
+	// Deterministic order for reproducible files.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Prompt != entries[j].Prompt {
+			return entries[i].Prompt < entries[j].Prompt
+		}
+		return entries[i].Seed < entries[j].Seed
+	})
+	if err := json.NewEncoder(w).Encode(entries); err != nil {
+		return fmt.Errorf("workflow: save cache: %w", err)
+	}
+	return nil
+}
+
+// Load merges previously saved cache contents. Loaded entries carry zero
+// usage, like any cache hit. Entries for other model names are kept too
+// (the key includes the model), so one file can serve a registry.
+func (c *Cache) Load(r io.Reader) error {
+	var entries []cacheEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("workflow: load cache: %w", err)
+	}
+	for _, e := range entries {
+		c.put(cacheKey{
+			model:       e.Model,
+			prompt:      e.Prompt,
+			temperature: e.Temperature,
+			maxTokens:   e.MaxTokens,
+			seed:        e.Seed,
+		}, llm.Response{Text: e.Text, Model: e.Model})
+	}
+	return nil
+}
+
+// CachedModel wraps a model with a response cache. Identical requests hit
+// the cache and cost nothing — the standard production optimisation for
+// temperature-0 workloads, and what makes re-running experiment sweeps
+// cheap. Safe for concurrent use.
+type CachedModel struct {
+	inner llm.Model
+	cache *Cache
+}
+
+// NewCached wraps m with a fresh private cache.
+func NewCached(m llm.Model) *CachedModel {
+	return NewCachedWith(m, NewCache(0))
+}
+
+// NewCachedWith wraps m against an existing (possibly shared) cache.
+func NewCachedWith(m llm.Model, c *Cache) *CachedModel {
+	return &CachedModel{inner: m, cache: c}
+}
+
+// Name implements llm.Model.
+func (c *CachedModel) Name() string { return c.inner.Name() }
+
+// Cache returns the backing store, for persistence and sharing.
+func (c *CachedModel) Cache() *Cache { return c.cache }
+
+// Complete implements llm.Model, serving repeats from cache. Cached
+// responses are returned with zero usage, mirroring that no API call was
+// made.
+func (c *CachedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	key := keyFor(c.inner.Name(), req)
+	if resp, ok := c.cache.get(key); ok {
+		resp.Usage = token.Usage{}
+		return resp, nil
+	}
+	resp, err := c.inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	c.cache.put(key, resp)
+	return resp, nil
+}
+
+// Stats returns cache size and hit count.
+func (c *CachedModel) Stats() (size, hits int) { return c.cache.Stats() }
+
+// Save writes the backing cache as JSON (see Cache.Save).
+func (c *CachedModel) Save(w io.Writer) error { return c.cache.Save(w) }
+
+// Load merges previously saved contents (see Cache.Load).
+func (c *CachedModel) Load(r io.Reader) error { return c.cache.Load(r) }

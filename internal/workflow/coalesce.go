@@ -1,0 +1,129 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// flight is one in-progress upstream call that followers wait on.
+type flight struct {
+	done chan struct{}
+	resp llm.Response
+	err  error
+}
+
+// FlightGroup tracks in-flight completions so concurrent identical
+// requests issue one upstream call (the singleflight pattern). A group
+// keys by (model, prompt, temperature, max tokens, seed), so it can be
+// shared by wrappers over different models. Safe for concurrent use.
+type FlightGroup struct {
+	mu        sync.Mutex
+	inflight  map[cacheKey]*flight
+	coalesced int
+}
+
+// NewFlightGroup returns an empty group.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{inflight: make(map[cacheKey]*flight)}
+}
+
+// Coalesced returns how many requests were answered by joining another
+// caller's in-flight upstream call.
+func (g *FlightGroup) Coalesced() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}
+
+// do runs fn once per key among concurrent callers. The leader executes
+// fn; followers block until the leader finishes and share its result with
+// zero usage (no upstream call was made on their behalf). A follower whose
+// own context is cancelled returns early with the context error.
+//
+// Upstream errors are shared with every follower of the flight — they
+// were promised that call's outcome. The exception is the leader's own
+// cancellation: a layer can be shared across sessions, and one session
+// timing out must not poison identical requests from live sessions, so a
+// follower whose leader was cancelled retries (and typically becomes the
+// new leader under its own context).
+func (g *FlightGroup) do(ctx context.Context, key cacheKey, fn func() (llm.Response, error)) (llm.Response, error) {
+	for {
+		g.mu.Lock()
+		f, ok := g.inflight[key]
+		if !ok {
+			f = &flight{done: make(chan struct{})}
+			g.inflight[key] = f
+			g.mu.Unlock()
+
+			f.resp, f.err = fn()
+			g.mu.Lock()
+			delete(g.inflight, key)
+			g.mu.Unlock()
+			close(f.done)
+			if f.err != nil {
+				return llm.Response{}, f.err
+			}
+			return f.resp, nil
+		}
+		g.coalesced++
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				if ctx.Err() != nil {
+					return llm.Response{}, ctx.Err()
+				}
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					continue // the leader died, not the call; retry fresh
+				}
+				return llm.Response{}, f.err
+			}
+			resp := f.resp
+			resp.Usage = token.Usage{}
+			return resp, nil
+		case <-ctx.Done():
+			return llm.Response{}, ctx.Err()
+		}
+	}
+}
+
+// CoalescingModel wraps a model so concurrent identical requests collapse
+// into one upstream call. Under workflow.Map's parallelism, N goroutines
+// issuing the same unit task pay for exactly one completion; followers
+// receive the shared response with zero usage, mirroring cache-hit
+// accounting. Sequential repeats are NOT deduplicated — that is the
+// cache's job; the coalescer only closes the window where identical
+// requests are simultaneously in flight (and would all miss a cache).
+type CoalescingModel struct {
+	inner llm.Model
+	group *FlightGroup
+}
+
+// NewCoalescing wraps m with a private flight group.
+func NewCoalescing(m llm.Model) *CoalescingModel {
+	return NewCoalescingWith(m, NewFlightGroup())
+}
+
+// NewCoalescingWith wraps m against an existing (possibly shared) group.
+func NewCoalescingWith(m llm.Model, g *FlightGroup) *CoalescingModel {
+	return &CoalescingModel{inner: m, group: g}
+}
+
+// Name implements llm.Model.
+func (c *CoalescingModel) Name() string { return c.inner.Name() }
+
+// Coalesced returns the group's coalesced-request count.
+func (c *CoalescingModel) Coalesced() int { return c.group.Coalesced() }
+
+// Complete implements llm.Model. The leader's context drives the upstream
+// call; a follower cancelled while waiting gets its own context error, and
+// a leader error is shared with every follower of that flight.
+func (c *CoalescingModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return c.group.do(ctx, keyFor(c.inner.Name(), req), func() (llm.Response, error) {
+		return c.inner.Complete(ctx, req)
+	})
+}

@@ -1,0 +1,55 @@
+package workflow
+
+import (
+	"repro/internal/llm"
+)
+
+// ExecStats is a point-in-time snapshot of an ExecLayer's effect.
+type ExecStats struct {
+	// CacheSize and CacheHits describe the shared response cache.
+	CacheSize, CacheHits int
+	// Coalesced counts requests answered by joining another caller's
+	// in-flight upstream call.
+	Coalesced int
+}
+
+// ExecLayer is the shared high-throughput execution substrate: one
+// sharded response cache plus one in-flight coalescer that span every
+// operator (and every engine) wrapped against it. Without it, each
+// operator invocation builds a private cache (core's per-session default),
+// so nothing is reused across operators and concurrent identical requests
+// all miss. With it, an identical unit task is answered upstream exactly
+// once per process — first by coalescing while in flight, then by the
+// cache forever after.
+//
+// Construct one layer per logical session or service and pass it to every
+// engine via core.WithExecutionLayer. Safe for concurrent use.
+type ExecLayer struct {
+	cache   *Cache
+	flights *FlightGroup
+}
+
+// NewExecLayer returns a layer with a DefaultCacheShards-way cache.
+func NewExecLayer() *ExecLayer { return NewExecLayerShards(0) }
+
+// NewExecLayerShards returns a layer whose cache has the given shard
+// count; shards <= 0 selects DefaultCacheShards.
+func NewExecLayerShards(shards int) *ExecLayer {
+	return &ExecLayer{cache: NewCache(shards), flights: NewFlightGroup()}
+}
+
+// Cache returns the shared cache handle, for Save/Load persistence.
+func (l *ExecLayer) Cache() *Cache { return l.cache }
+
+// Wrap layers the shared cache and coalescer over m: lookups hit the cache
+// first; misses coalesce with identical in-flight requests; only flight
+// leaders reach m.
+func (l *ExecLayer) Wrap(m llm.Model) llm.Model {
+	return NewCachedWith(NewCoalescingWith(m, l.flights), l.cache)
+}
+
+// Stats snapshots the layer's counters.
+func (l *ExecLayer) Stats() ExecStats {
+	size, hits := l.cache.Stats()
+	return ExecStats{CacheSize: size, CacheHits: hits, Coalesced: l.flights.Coalesced()}
+}

@@ -6,11 +6,8 @@ package workflow
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"sort"
 	"sync"
 
 	"repro/internal/llm"
@@ -148,73 +145,6 @@ func (m *BudgetedModel) Complete(ctx context.Context, req llm.Request) (llm.Resp
 	return resp, nil
 }
 
-// cacheKey identifies a completion for caching. Temperature-positive
-// requests include the seed (distinct samples must stay distinct).
-type cacheKey struct {
-	model       string
-	prompt      string
-	temperature float64
-	maxTokens   int
-	seed        int64
-}
-
-// CachedModel wraps a model with a response cache. Identical requests hit
-// the cache and cost nothing — the standard production optimisation for
-// temperature-0 workloads, and what makes re-running experiment sweeps
-// cheap. Safe for concurrent use.
-type CachedModel struct {
-	inner llm.Model
-	mu    sync.Mutex
-	cache map[cacheKey]llm.Response
-	hits  int
-}
-
-// NewCached wraps m with an empty cache.
-func NewCached(m llm.Model) *CachedModel {
-	return &CachedModel{inner: m, cache: make(map[cacheKey]llm.Response)}
-}
-
-// Name implements llm.Model.
-func (c *CachedModel) Name() string { return c.inner.Name() }
-
-// Complete implements llm.Model, serving repeats from cache. Cached
-// responses are returned with zero usage, mirroring that no API call was
-// made.
-func (c *CachedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
-	key := cacheKey{
-		model:       c.inner.Name(),
-		prompt:      req.Prompt,
-		temperature: req.Temperature,
-		maxTokens:   req.MaxTokens,
-	}
-	if req.Temperature > 0 {
-		key.seed = req.Seed
-	}
-	c.mu.Lock()
-	if resp, ok := c.cache[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		resp.Usage = token.Usage{}
-		return resp, nil
-	}
-	c.mu.Unlock()
-	resp, err := c.inner.Complete(ctx, req)
-	if err != nil {
-		return resp, err
-	}
-	c.mu.Lock()
-	c.cache[key] = resp
-	c.mu.Unlock()
-	return resp, nil
-}
-
-// Stats returns cache size and hit count.
-func (c *CachedModel) Stats() (size, hits int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.cache), c.hits
-}
-
 // Map runs fn over indices 0..n-1 with at most parallelism concurrent
 // invocations and collects the results in index order. The first error
 // cancels outstanding work and is returned alongside the partial results
@@ -325,66 +255,4 @@ func (m *TracedModel) Complete(ctx context.Context, req llm.Request) (llm.Respon
 		m.trace.Record(m.inner.Name(), resp.Usage)
 	}
 	return resp, err
-}
-
-// cacheEntry is the JSON persistence form of one cached response.
-type cacheEntry struct {
-	Model       string  `json:"model"`
-	Prompt      string  `json:"prompt"`
-	Temperature float64 `json:"temperature,omitempty"`
-	MaxTokens   int     `json:"max_tokens,omitempty"`
-	Seed        int64   `json:"seed,omitempty"`
-	Text        string  `json:"text"`
-}
-
-// Save writes the cache contents as JSON, so long experiment sweeps can
-// be resumed across process restarts without re-spending tokens.
-func (c *CachedModel) Save(w io.Writer) error {
-	c.mu.Lock()
-	entries := make([]cacheEntry, 0, len(c.cache))
-	for k, v := range c.cache {
-		entries = append(entries, cacheEntry{
-			Model:       k.model,
-			Prompt:      k.prompt,
-			Temperature: k.temperature,
-			MaxTokens:   k.maxTokens,
-			Seed:        k.seed,
-			Text:        v.Text,
-		})
-	}
-	c.mu.Unlock()
-	// Deterministic order for reproducible files.
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Prompt != entries[j].Prompt {
-			return entries[i].Prompt < entries[j].Prompt
-		}
-		return entries[i].Seed < entries[j].Seed
-	})
-	if err := json.NewEncoder(w).Encode(entries); err != nil {
-		return fmt.Errorf("workflow: save cache: %w", err)
-	}
-	return nil
-}
-
-// Load merges previously saved cache contents. Loaded entries carry zero
-// usage, like any cache hit. Entries for other model names are kept too
-// (the key includes the model), so one file can serve a registry.
-func (c *CachedModel) Load(r io.Reader) error {
-	var entries []cacheEntry
-	if err := json.NewDecoder(r).Decode(&entries); err != nil {
-		return fmt.Errorf("workflow: load cache: %w", err)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range entries {
-		key := cacheKey{
-			model:       e.Model,
-			prompt:      e.Prompt,
-			temperature: e.Temperature,
-			maxTokens:   e.MaxTokens,
-			seed:        e.Seed,
-		}
-		c.cache[key] = llm.Response{Text: e.Text, Model: e.Model}
-	}
-	return nil
 }
