@@ -43,6 +43,11 @@ func main() {
 	items := sub.Int("items", 60, "workload width for exec-layer")
 	repeats := sub.Int("repeats", 3, "workload repeats for exec-layer")
 	batch := sub.Int("batch", 8, "unit tasks per envelope for exec-layer")
+	ixN := sub.Int("n", 10000, "indexed records for index-bench")
+	ixK := sub.Int("k", 10, "neighbours per query for index-bench")
+	ixQueries := sub.Int("queries", 200, "timed queries for index-bench")
+	ixPartitions := sub.Int("partitions", 0, "ANN partitions for index-bench (0 = √N)")
+	ixProbes := sub.Int("probes", 0, "ANN probes per query for index-bench (0 = partitions/4)")
 	sub.Parse(flag.Args()[1:])
 
 	ctx := context.Background()
@@ -181,6 +186,17 @@ func main() {
 		fmt.Print(experiments.FormatAblationFilter(rows))
 		return nil
 	}
+	indexBench := func() error {
+		rows, err := experiments.IndexBench(experiments.IndexBenchConfig{
+			N: *ixN, K: *ixK, Queries: *ixQueries,
+			Partitions: *ixPartitions, Probes: *ixProbes,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatIndexBench(rows))
+		return nil
+	}
 
 	switch cmd {
 	case "table1":
@@ -211,6 +227,8 @@ func main() {
 		run("Ablation A9: template brittleness", ablateTemplates)
 	case "exec-layer":
 		run("Execution layer: shared cache + coalescing + batching", execLayer)
+	case "index-bench":
+		run(fmt.Sprintf("Vector index: exact vs ANN (%d records)", *ixN), indexBench)
 	case "all":
 		run("Table 1: sorting 20 flavours", table1)
 		run("Table 2: sorting 100 words (sort then insert)", table2)
@@ -253,6 +271,8 @@ commands:
   ablate-templates     A9: comparison-template brittleness
   exec-layer      shared cache + coalescing + batching on a repeated
                   workload (-items N -repeats N -batch K)
+  index-bench     vector retrieval: queries/sec and recall, exact vs ANN
+                  (-n N -k K -queries Q -partitions P -probes R)
   all             run everything
 `)
 }

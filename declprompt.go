@@ -200,3 +200,18 @@ func CountTokens(s string) int { return token.Count(s) }
 // character-n-gram embedder, for callers building custom blocking or
 // neighbour-augmentation pipelines.
 func NewEmbeddingIndex() *embed.Index { return embed.NewIndex(embed.Default()) }
+
+// EmbeddingIndexOptions configures NewEmbeddingIndexWith: ANN mode,
+// partition/probe counts, and the k-means seed. See docs/VECTOR.md for
+// the recall/speed trade-off.
+type EmbeddingIndexOptions = embed.IndexOptions
+
+// IndexItem is one (id, text) pair for batch insertion via Index.AddAll.
+type IndexItem = embed.Item
+
+// NewEmbeddingIndexWith returns a k-NN index over the default embedder
+// with explicit options — enable ANN for approximate sublinear queries
+// with a measured-recall knob (embed.Recall, `declctl index-bench`).
+func NewEmbeddingIndexWith(opts EmbeddingIndexOptions) *embed.Index {
+	return embed.NewIndexWith(embed.Default(), opts)
+}

@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"strconv"
 
 	"repro/internal/embed"
 	"repro/internal/prompt"
@@ -101,38 +101,36 @@ func (e *Engine) Find(ctx context.Context, req FindRequest) (FindResult, error) 
 			}
 		}
 	case FindEmbedFirst:
-		// Rank candidates by embedding similarity to the description.
-		qv := e.embedder.Embed(req.Description)
-		type scored struct {
-			idx  int
-			dist float64
-		}
-		cands := make([]scored, len(req.Items))
+		// Rank candidates by embedding similarity to the description: the
+		// items are indexed once (embedded in parallel) and the heap top-k
+		// query returns the candidate pool closest-first, ties by input
+		// order.
+		items := make([]embed.Item, len(req.Items))
 		for i, it := range req.Items {
-			cands[i] = scored{idx: i, dist: embed.L2(qv, e.embedder.Embed(it))}
+			items[i] = embed.Item{ID: strconv.Itoa(i), Text: it}
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].dist != cands[b].dist {
-				return cands[a].dist < cands[b].dist
-			}
-			return cands[a].idx < cands[b].idx
-		})
+		ix := embed.NewIndex(e.embedder)
+		ix.AddAll(items)
 		pool := req.CandidateFactor * req.Limit
-		if pool > len(cands) {
-			pool = len(cands)
+		if pool > len(req.Items) {
+			pool = len(req.Items)
 		}
 		// Sequential by design: stop as soon as Limit matches confirm.
-		for _, c := range cands[:pool] {
+		for _, nb := range ix.Nearest(req.Description, pool) {
 			if len(res.Matches) >= req.Limit {
 				break
 			}
-			ok, err := check(ctx, req.Items[c.idx])
+			idx, err := strconv.Atoi(nb.ID)
+			if err != nil {
+				continue
+			}
+			ok, err := check(ctx, req.Items[idx])
 			if err != nil {
 				return FindResult{}, fmt.Errorf("find embed-first: %w", err)
 			}
 			res.Checked++
 			if ok {
-				res.Matches = append(res.Matches, req.Items[c.idx])
+				res.Matches = append(res.Matches, req.Items[idx])
 			}
 		}
 	default:

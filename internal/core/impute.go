@@ -84,22 +84,41 @@ func (e *Engine) Impute(ctx context.Context, req ImputeRequest) (ImputeResult, e
 
 	// Index training records by their serialization without the target —
 	// the same view the model gets, so neighbours reflect queryable
-	// evidence only.
+	// evidence only. AddAll embeds the training corpus in parallel.
 	ix := embed.NewIndex(e.embedder)
 	targets := make(map[string]string, len(req.Train))
+	trainByID := make(map[string]dataset.Record, len(req.Train))
+	trainItems := make([]embed.Item, 0, len(req.Train))
 	for _, r := range req.Train {
 		v, ok := r.Get(req.TargetField)
 		if !ok {
 			return ImputeResult{}, badRequestf("training record %q lacks target %q", r.ID, req.TargetField)
 		}
-		ix.Add(r.ID, r.WithoutField(req.TargetField).String())
+		trainItems = append(trainItems, embed.Item{ID: r.ID, Text: r.WithoutField(req.TargetField).String()})
 		targets[r.ID] = v
+		trainByID[r.ID] = r
 	}
+	ix.AddAll(trainItems)
 
 	// Imputation prompts are homogeneous per-record unit tasks (the knn
 	// strategy issues none, so the wrapper is inert there).
 	s := e.newBatchedSession()
 	res := ImputeResult{Values: make([]string, len(req.Queries))}
+
+	// Each query is serialized and embedded exactly once: one top-k query
+	// wide enough for both the k-NN vote and the few-shot example pool.
+	kMax := req.Neighbors
+	if req.Examples > kMax {
+		kMax = req.Examples
+	}
+	serialized := make([]string, len(req.Queries))
+	nnAll := make([][]embed.Neighbor, len(req.Queries))
+	for i, q := range req.Queries {
+		serialized[i] = q.WithoutField(req.TargetField).String()
+		if len(req.Train) > 0 {
+			nnAll[i] = ix.Nearest(serialized[i], kMax)
+		}
+	}
 
 	type knnInfo struct {
 		mode      string
@@ -108,8 +127,11 @@ func (e *Engine) Impute(ctx context.Context, req ImputeRequest) (ImputeResult, e
 	}
 	knn := make([]knnInfo, len(req.Queries))
 	if len(req.Train) > 0 {
-		for i, q := range req.Queries {
-			nn := ix.Nearest(q.WithoutField(req.TargetField).String(), req.Neighbors)
+		for i := range req.Queries {
+			nn := nnAll[i]
+			if len(nn) > req.Neighbors {
+				nn = nn[:req.Neighbors]
+			}
 			votes := make(map[string]int)
 			order := []string{}
 			for _, nb := range nn {
@@ -134,29 +156,23 @@ func (e *Engine) Impute(ctx context.Context, req ImputeRequest) (ImputeResult, e
 	}
 
 	askLLM := func(ctx context.Context, i int) (string, error) {
-		q := req.Queries[i]
-		serialized := q.WithoutField(req.TargetField).String()
 		var examples []prompt.Example
 		if req.Examples > 0 {
 			// Few-shot examples: the query's nearest training neighbours,
 			// shown with their gold target (the paper's k'-neighbour
-			// examples).
-			nn := ix.Nearest(serialized, req.Examples)
+			// examples) — a prefix of the single per-query k-NN result.
+			nn := nnAll[i]
+			if len(nn) > req.Examples {
+				nn = nn[:req.Examples]
+			}
 			for _, nb := range nn {
-				var rec dataset.Record
-				for _, tr := range req.Train {
-					if tr.ID == nb.ID {
-						rec = tr
-						break
-					}
-				}
 				examples = append(examples, prompt.Example{
-					Input:  rec.WithoutField(req.TargetField).String(),
+					Input:  trainByID[nb.ID].WithoutField(req.TargetField).String(),
 					Output: targets[nb.ID],
 				})
 			}
 		}
-		return quality.AskWithRetry(ctx, s.model, prompt.Impute(serialized, req.TargetField, examples),
+		return quality.AskWithRetry(ctx, s.model, prompt.Impute(serialized[i], req.TargetField, examples),
 			prompt.ParseValue, e.retries)
 	}
 
@@ -211,11 +227,13 @@ func workflowMapSubset(ctx context.Context, e *Engine, subset []int, fn func(ctx
 func NearestTrainValues(em embed.Embedder, train []dataset.Record, query dataset.Record, targetField string, k int) []string {
 	ix := embed.NewIndex(em)
 	targets := make(map[string]string, len(train))
+	items := make([]embed.Item, 0, len(train))
 	for _, r := range train {
 		v, _ := r.Get(targetField)
-		ix.Add(r.ID, r.WithoutField(targetField).String())
+		items = append(items, embed.Item{ID: r.ID, Text: r.WithoutField(targetField).String()})
 		targets[r.ID] = v
 	}
+	ix.AddAll(items)
 	nn := ix.Nearest(query.WithoutField(targetField).String(), k)
 	out := make([]string, 0, len(nn))
 	for _, nb := range nn {

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/consistency"
-	"repro/internal/embed"
 	"repro/internal/token"
 )
 
@@ -140,24 +140,23 @@ func (e *Engine) joinTransitive(ctx context.Context, s *session, req JoinRequest
 		l, r int
 		dist float64
 	}
-	leftVecs := make([][]float64, len(req.Left))
-	for i, ent := range req.Left {
-		leftVecs[i] = e.embedder.Embed(ent.Text)
-	}
-	rightVecs := make([][]float64, len(req.Right))
-	for i, ent := range req.Right {
-		rightVecs[i] = e.embedder.Embed(ent.Text)
-	}
+	// Index the right side once (embedded in parallel); each left record
+	// is embedded once by its radius query. The partition pruning bound
+	// keeps Within exact, so candidate generation matches the old full
+	// L×R scan while skipping partitions beyond the cutoff.
+	rightIDs := corpusIDs(len(req.Right))
+	rix := indexEntities(e.embedder, req.Right, rightIDs)
 	var res JoinResult
 	var cands []cand
 	for l := range req.Left {
-		for r := range req.Right {
-			d := embed.L2(leftVecs[l], rightVecs[r])
-			if d > req.CandidateDistance {
-				res.SkippedByDistance++
+		nbrs := rix.Within(req.Left[l].Text, req.CandidateDistance)
+		res.SkippedByDistance += len(req.Right) - len(nbrs)
+		for _, nb := range nbrs {
+			r, err := strconv.Atoi(nb.ID)
+			if err != nil {
 				continue
 			}
-			cands = append(cands, cand{l, r, d})
+			cands = append(cands, cand{l, r, nb.Distance})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/consistency"
 	"repro/internal/embed"
@@ -11,6 +12,28 @@ import (
 	"repro/internal/quality"
 	"repro/internal/token"
 )
+
+// corpusIDs precomputes the string id of every corpus index once per
+// request, keeping fmt.Sprintf out of the hot neighbour loops.
+func corpusIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = strconv.Itoa(i)
+	}
+	return ids
+}
+
+// indexEntities builds a k-NN index over the corpus with one embedding
+// pass (parallelised across CPUs), ids index-aligned with the corpus.
+func indexEntities(em embed.Embedder, corpus []Entity, ids []string) *embed.Index {
+	items := make([]embed.Item, len(corpus))
+	for i, ent := range corpus {
+		items[i] = embed.Item{ID: ids[i], Text: ent.Text}
+	}
+	ix := embed.NewIndex(em)
+	ix.AddAll(items)
+	return ix
+}
 
 // Entity is one record participating in entity resolution: an identifier
 // plus the text the model sees.
@@ -156,102 +179,32 @@ func (e *Engine) resolveDirect(ctx context.Context, s *session, req PairsRequest
 // the global match graph, and answer each question by direct edge or by
 // connectivity.
 func (e *Engine) resolveTransitive(ctx context.Context, s *session, req PairsRequest) (PairsResult, error) {
-	// Index the corpus for neighbour search.
-	ix := embed.NewIndex(e.embedder)
-	for i, ent := range req.Corpus {
-		ix.Add(fmt.Sprintf("%d", i), ent.Text)
-	}
-	idOf := func(i int) string { return fmt.Sprintf("%d", i) }
-
-	// Collect the union of comparisons to issue.
-	type cmp struct{ a, b int }
-	cmpSet := make(map[cmp]bool)
-	addCmp := func(a, b int) {
-		if a == b {
-			return
-		}
-		if a > b {
-			a, b = b, a
-		}
-		cmpSet[cmp{a, b}] = true
-	}
-	// Memoise per-record neighbour lists: question pairs reuse sides, and
-	// the k-NN scan over the corpus is the expensive part.
-	nbrCache := make(map[int][]int)
-	neighboursOf := func(side int) []int {
-		if nbs, ok := nbrCache[side]; ok {
-			return nbs
-		}
-		nbs := make([]int, 0, req.Neighbors)
-		for _, nb := range ix.NearestOther(req.Corpus[side].Text, idOf(side), req.Neighbors) {
-			var idx int
-			fmt.Sscanf(nb.ID, "%d", &idx)
-			nbs = append(nbs, idx)
-		}
-		nbrCache[side] = nbs
-		return nbs
-	}
-	for _, p := range req.Pairs {
-		members := []int{p[0], p[1]}
-		for _, side := range p {
-			members = append(members, neighboursOf(side)...)
-		}
-		members = dedupeInts(members)
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				addCmp(members[i], members[j])
-			}
-		}
-	}
-	cmps := make([]cmp, 0, len(cmpSet))
-	for c := range cmpSet {
-		cmps = append(cmps, c)
-	}
-	// Deterministic order for reproducible budget exhaustion behaviour.
-	sort.Slice(cmps, func(i, j int) bool {
-		if cmps[i].a != cmps[j].a {
-			return cmps[i].a < cmps[j].a
-		}
-		return cmps[i].b < cmps[j].b
-	})
-
-	answers, err := e.mapIdx(ctx, len(cmps), func(ctx context.Context, i int) (string, error) {
-		c := cmps[i]
-		yes, err := e.matchOnce(ctx, s, req.Corpus[c.a], req.Corpus[c.b])
-		if err != nil {
-			return "", err
-		}
-		if yes {
-			return "Y", nil
-		}
-		return "N", nil
-	})
+	cmps, answers, err := e.neighbourhoodComparisons(ctx, s, req)
 	if err != nil {
 		return PairsResult{}, fmt.Errorf("transitive resolve: %w", err)
 	}
+	ids := corpusIDs(len(req.Corpus))
 	graph := consistency.NewMatchGraph()
-	direct := make(map[cmp]bool, len(cmps))
+	direct := make(map[[2]int]bool, len(cmps))
 	for i, c := range cmps {
-		yes := answers[i] == "Y"
-		direct[c] = yes
-		graph.AddNode(idOf(c.a))
-		graph.AddNode(idOf(c.b))
-		if yes {
-			graph.AddMatch(idOf(c.a), idOf(c.b))
+		direct[c] = answers[i]
+		graph.AddNode(ids[c[0]])
+		graph.AddNode(ids[c[1]])
+		if answers[i] {
+			graph.AddMatch(ids[c[0]], ids[c[1]])
 		}
 	}
 	res := PairsResult{Match: make([]bool, len(req.Pairs)), LLMComparisons: len(cmps)}
 	for qi, p := range req.Pairs {
 		a, b := p[0], p[1]
-		key := cmp{a, b}
 		if a > b {
-			key = cmp{b, a}
+			a, b = b, a
 		}
-		if direct[key] {
+		if direct[[2]int{a, b}] {
 			res.Match[qi] = true
 			continue
 		}
-		if graph.Connected(idOf(a), idOf(b)) {
+		if graph.Connected(ids[a], ids[b]) {
 			res.Match[qi] = true
 			res.FlippedByTransitivity++
 		}
@@ -260,14 +213,12 @@ func (e *Engine) resolveTransitive(ctx context.Context, s *session, req PairsReq
 }
 
 func (e *Engine) resolveBlocked(ctx context.Context, s *session, req PairsRequest) (PairsResult, error) {
-	vecs := make([][]float64, len(req.Corpus))
-	for i, ent := range req.Corpus {
-		vecs[i] = e.embedder.Embed(ent.Text)
-	}
+	ids := corpusIDs(len(req.Corpus))
+	ix := indexEntities(e.embedder, req.Corpus, ids)
 	res := PairsResult{Match: make([]bool, len(req.Pairs))}
 	var askIdx []int
 	for i, p := range req.Pairs {
-		if embed.L2(vecs[p[0]], vecs[p[1]]) > req.BlockDistance {
+		if d, ok := ix.DistanceByID(ids[p[0]], ids[p[1]]); ok && d > req.BlockDistance {
 			res.SkippedByBlocking++ // decided "no" for free
 			continue
 		}
@@ -360,15 +311,13 @@ func (e *Engine) Dedupe(ctx context.Context, req DedupeRequest) (DedupeResult, e
 	case DedupePairwise:
 		comparisons, err = e.dedupePairs(ctx, s, req.Records, graph, allPairs(len(req.Records)))
 	case DedupeBlockedPairwise:
-		ix := embed.NewIndex(e.embedder)
-		for i, r := range req.Records {
-			ix.Add(fmt.Sprintf("%d", i), r.Text)
-		}
+		ids := corpusIDs(len(req.Records))
+		ix := indexEntities(e.embedder, req.Records, ids)
 		var pairs [][2]int
 		for _, block := range ix.Blocks(req.BlockDistance) {
 			idxs := make([]int, len(block))
 			for i, id := range block {
-				fmt.Sscanf(id, "%d", &idxs[i])
+				idxs[i], _ = strconv.Atoi(id)
 			}
 			for i := 0; i < len(idxs); i++ {
 				for j := i + 1; j < len(idxs); j++ {
@@ -489,7 +438,7 @@ func dedupeInts(in []int) []int {
 // supports (the "enough evidence in the opposite direction" rule the
 // paper leaves as future work).
 func (e *Engine) resolveEvidence(ctx context.Context, s *session, req PairsRequest) (PairsResult, error) {
-	_, cmps, answers, err := e.neighbourhoodComparisons(ctx, s, req)
+	cmps, answers, err := e.neighbourhoodComparisons(ctx, s, req)
 	if err != nil {
 		return PairsResult{}, err
 	}
@@ -556,21 +505,23 @@ func (e *Engine) resolveEvidence(ctx context.Context, s *session, req PairsReque
 
 // neighbourhoodComparisons collects and answers the union of k-NN
 // neighbourhood comparisons for every questioned pair; shared by the
-// transitive and evidence strategies.
-func (e *Engine) neighbourhoodComparisons(ctx context.Context, s *session, req PairsRequest) (*embed.Index, [][2]int, []bool, error) {
-	ix := embed.NewIndex(e.embedder)
-	for i, ent := range req.Corpus {
-		ix.Add(fmt.Sprintf("%d", i), ent.Text)
-	}
+// transitive and evidence strategies. The corpus is embedded exactly
+// once (indexed in parallel); neighbour queries reuse the stored vectors
+// via NearestByID instead of re-embedding the query side.
+func (e *Engine) neighbourhoodComparisons(ctx context.Context, s *session, req PairsRequest) ([][2]int, []bool, error) {
+	ids := corpusIDs(len(req.Corpus))
+	ix := indexEntities(e.embedder, req.Corpus, ids)
 	nbrCache := make(map[int][]int)
 	neighboursOf := func(side int) []int {
 		if nbs, ok := nbrCache[side]; ok {
 			return nbs
 		}
 		nbs := make([]int, 0, req.Neighbors)
-		for _, nb := range ix.NearestOther(req.Corpus[side].Text, fmt.Sprintf("%d", side), req.Neighbors) {
-			var idx int
-			fmt.Sscanf(nb.ID, "%d", &idx)
+		for _, nb := range ix.NearestByID(ids[side], req.Neighbors) {
+			idx, err := strconv.Atoi(nb.ID)
+			if err != nil {
+				continue
+			}
 			nbs = append(nbs, idx)
 		}
 		nbrCache[side] = nbs
@@ -617,11 +568,11 @@ func (e *Engine) neighbourhoodComparisons(ctx context.Context, s *session, req P
 		return "N", nil
 	})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("neighbourhood comparisons: %w", err)
+		return nil, nil, fmt.Errorf("neighbourhood comparisons: %w", err)
 	}
 	answers := make([]bool, len(raw))
 	for i, r := range raw {
 		answers[i] = r == "Y"
 	}
-	return ix, cmps, answers, nil
+	return cmps, answers, nil
 }

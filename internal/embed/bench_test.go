@@ -1,0 +1,184 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// seedIndex replicates the seed repository's index verbatim — per-item
+// []float64 vectors, full scan, full-result allocation, stable sort — as
+// the baseline BenchmarkIndexNearest measures the rewrite against.
+type seedIndex struct {
+	embedder Embedder
+	ids      []string
+	vecs     [][]float64
+}
+
+func (ix *seedIndex) add(id, text string) {
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, ix.embedder.Embed(text))
+}
+
+func (ix *seedIndex) nearest(q []float64, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(ix.ids))
+	for i, v := range ix.vecs {
+		out = append(out, Neighbor{ID: ix.ids[i], Distance: L2(q, v)})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Distance < out[b].Distance })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func (ix *seedIndex) blocks(threshold float64) [][]string {
+	assigned := make([]bool, len(ix.ids))
+	var blocks [][]string
+	for i := range ix.ids {
+		if assigned[i] {
+			continue
+		}
+		block := []string{ix.ids[i]}
+		assigned[i] = true
+		for j := i + 1; j < len(ix.ids); j++ {
+			if assigned[j] {
+				continue
+			}
+			if L2(ix.vecs[i], ix.vecs[j]) < threshold {
+				block = append(block, ix.ids[j])
+				assigned[j] = true
+			}
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// BenchmarkIndexNearest compares top-10 query throughput at N=10k sim
+// records: the seed brute-force scan+sort, the flat float32 heap scan,
+// and ANN partition probing. Queries are held out of the index (same
+// corpus distribution, no self-hit). The acceptance bar is ANN ≥10x
+// over seed-scan at ≥0.95 measured recall on this corpus.
+func BenchmarkIndexNearest(b *testing.B) {
+	const n, k = 10000, 10
+	all := simTexts(b, n+256)
+	items, heldOut := all[:n], all[n:]
+	queries := make([]string, len(heldOut))
+	for i, it := range heldOut {
+		queries[i] = it.Text
+	}
+
+	b.Run("seed-scan", func(b *testing.B) {
+		ix := &seedIndex{embedder: Default()}
+		for _, it := range items {
+			ix.add(it.ID, it.Text)
+		}
+		qvecs := make([][]float64, len(queries))
+		for i, q := range queries {
+			qvecs[i] = ix.embedder.Embed(q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.nearest(qvecs[i%len(queries)], k)
+		}
+	})
+
+	b.Run("exact-heap", func(b *testing.B) {
+		ix := NewIndex(Default())
+		ix.AddAll(items)
+		qvecs := make([][]float32, len(queries))
+		for i, q := range queries {
+			qvecs[i] = ix.embed32(q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.search(qvecs[i%len(queries)], k, -1)
+		}
+	})
+
+	b.Run("ann", func(b *testing.B) {
+		// 200 partitions / 30 probes measures ~0.96 held-out recall@10 on
+		// this corpus at ~14x seed-scan throughput; the reported recall
+		// metric keeps the trade-off honest.
+		ix := NewIndexWith(Default(), IndexOptions{ANN: true, Partitions: 200, Probes: 30})
+		ix.AddAll(items)
+		ix.ensurePartitions()
+		exact := NewIndex(Default())
+		exact.AddAll(items)
+		b.ReportMetric(Recall(exact, ix, queries[:128], k), "recall@10")
+		qvecs := make([][]float32, len(queries))
+		for i, q := range queries {
+			qvecs[i] = ix.embed32(q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.search(qvecs[i%len(queries)], k, -1)
+		}
+	})
+}
+
+// BenchmarkBlocks compares the seed quadratic seed-scan blocking against
+// partition-pruned union-find single linkage.
+func BenchmarkBlocks(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		items := simTexts(b, n)
+		b.Run(fmt.Sprintf("seed-quadratic/n%d", n), func(b *testing.B) {
+			ix := &seedIndex{embedder: Default()}
+			for _, it := range items {
+				ix.add(it.ID, it.Text)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.blocks(0.8)
+			}
+		})
+		b.Run(fmt.Sprintf("union-find/n%d", n), func(b *testing.B) {
+			ix := NewIndex(Default())
+			ix.AddAll(items)
+			ix.ensurePartitions()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Blocks(0.8)
+			}
+		})
+	}
+}
+
+// BenchmarkEmbed compares the seed hasher-per-gram Embed with the inline
+// scratch-buffer rewrite (byte-identical output, see
+// TestEmbedMatchesReference).
+func BenchmarkEmbed(b *testing.B) {
+	e := Default()
+	text := "wang j., li h., chen x. scalable entity matching over dirty web tables. vldb 2013"
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			referenceEmbed(e, text)
+		}
+	})
+	b.Run("optimised", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Embed(text)
+		}
+	})
+}
+
+// BenchmarkIndexBuild measures parallel AddAll against sequential Add at
+// N=5k.
+func BenchmarkIndexBuild(b *testing.B) {
+	items := simTexts(b, 5000)
+	b.Run("sequential-add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix := NewIndex(Default())
+			for _, it := range items {
+				ix.Add(it.ID, it.Text)
+			}
+		}
+	})
+	b.Run("parallel-addall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix := NewIndex(Default())
+			ix.AddAll(items)
+		}
+	})
+}

@@ -1,16 +1,24 @@
-// Package embed provides deterministic text embeddings and an exact
-// k-nearest-neighbour index. It stands in for the vendor embedding model
-// (text-embedding-ada-002) used by the paper's Table 3 experiment: the
-// toolkit only needs embeddings to rank surface-similar records near each
-// other, which character-n-gram hashing embeddings do reliably.
+// Package embed is the vector retrieval layer: deterministic text
+// embeddings plus a high-performance k-nearest-neighbour index. It stands
+// in for the vendor embedding model (text-embedding-ada-002) used by the
+// paper's Table 3 experiment: the toolkit only needs embeddings to rank
+// surface-similar records near each other, which character-n-gram hashing
+// embeddings do reliably.
+//
+// The index (index.go) stores vectors in one contiguous float32 backing
+// array and answers exact top-k queries with a bounded max-heap; an
+// opt-in ANN mode (ann.go) probes a few k-means partitions instead of
+// scanning everything, trading a measured amount of recall for an
+// order-of-magnitude throughput gain.
 package embed
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
-	"sort"
-	"strings"
+	"strconv"
+	"sync"
+	"unicode"
+	"unicode/utf8"
 )
 
 // DefaultDim is the embedding dimensionality used across the toolkit.
@@ -20,8 +28,11 @@ const DefaultDim = 256
 
 // Embedder converts text to fixed-length vectors.
 type Embedder interface {
-	// Embed returns the vector for the given text. Implementations must be
-	// deterministic: equal inputs yield equal vectors.
+	// Embed returns the vector for the given text. Implementations must
+	// be deterministic (equal inputs yield equal vectors) and safe for
+	// concurrent use: Index.AddAll and the engine's operators call Embed
+	// from multiple goroutines. NGramEmbedder and httpapi.EmbedClient
+	// both satisfy this.
 	Embed(text string) []float64
 	// Dim returns the vector length produced by Embed.
 	Dim() int
@@ -31,10 +42,37 @@ type Embedder interface {
 // fixed number of buckets and L2-normalises the result. Texts sharing many
 // n-grams (near-duplicates, typo variants, truncations) land close in L2
 // and cosine distance.
+//
+// Embed is allocation-light: the normalised rune window lives in a pooled
+// scratch buffer and the per-gram FNV-64a hash is computed inline over a
+// stack byte buffer, so the only allocation per call is the returned
+// vector. Output is byte-identical to the original hasher-per-gram
+// implementation (TestEmbedMatchesReference in index_test.go pins this
+// against a verbatim reference copy).
 type NGramEmbedder struct {
 	dim  int
 	n    int
 	seed uint64
+	// seedHash is the FNV-64a state after absorbing "<seed>|", the
+	// per-gram prefix the original implementation wrote through
+	// fmt.Fprintf; hoisting it out of the gram loop is what makes the
+	// inline hash free.
+	seedHash uint64
+}
+
+// FNV-64a parameters (hash/fnv), inlined so grams hash without an
+// allocated hash.Hash64.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvFoldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // NewNGramEmbedder returns an embedder with the given dimensionality and
@@ -44,7 +82,13 @@ func NewNGramEmbedder(dim, n int) *NGramEmbedder {
 	if dim <= 0 || n < 2 {
 		panic(fmt.Sprintf("embed: invalid NGramEmbedder(dim=%d, n=%d)", dim, n))
 	}
-	return &NGramEmbedder{dim: dim, n: n, seed: 0x9e3779b97f4a7c15}
+	const seed = 0x9e3779b97f4a7c15
+	return &NGramEmbedder{
+		dim:      dim,
+		n:        n,
+		seed:     seed,
+		seedHash: fnvFoldString(fnvOffset64, strconv.FormatUint(seed, 10)+"|"),
+	}
 }
 
 // Default returns the embedder configuration used by the benchmarks:
@@ -54,19 +98,58 @@ func Default() *NGramEmbedder { return NewNGramEmbedder(DefaultDim, 3) }
 // Dim implements Embedder.
 func (e *NGramEmbedder) Dim() int { return e.dim }
 
+// embedScratch holds the normalised rune buffer reused across Embed
+// calls. Pooled rather than stored on the embedder so one NGramEmbedder
+// stays safe for concurrent use (AddAll embeds in parallel).
+type embedScratch struct {
+	runes []rune
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &embedScratch{runes: make([]rune, 0, 256)} },
+}
+
+// normRunes rebuilds the original normalisation pipeline —
+// []rune(" " + ToLower(Join(Fields(text), " ")) + " "), zero-padded to at
+// least n runes — in a single pass over the input with no intermediate
+// strings.
+func (s *embedScratch) normRunes(text string, n int) []rune {
+	r := append(s.runes[:0], ' ')
+	inField := false
+	for _, c := range text {
+		if unicode.IsSpace(c) {
+			inField = false
+			continue
+		}
+		if !inField && len(r) > 1 {
+			r = append(r, ' ')
+		}
+		inField = true
+		r = append(r, unicode.ToLower(c))
+	}
+	r = append(r, ' ')
+	for len(r) < n {
+		r = append(r, 0)
+	}
+	s.runes = r
+	return r
+}
+
 // Embed implements Embedder.
 func (e *NGramEmbedder) Embed(text string) []float64 {
 	v := make([]float64, e.dim)
-	norm := strings.ToLower(strings.Join(strings.Fields(text), " "))
-	runes := []rune(" " + norm + " ") // pad so prefixes/suffixes count
-	if len(runes) < e.n {
-		runes = append(runes, make([]rune, e.n-len(runes))...)
-	}
+	sc := scratchPool.Get().(*embedScratch)
+	runes := sc.normRunes(text, e.n)
+	var buf [utf8.UTFMax]byte
 	for i := 0; i+e.n <= len(runes); i++ {
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%d|", e.seed)
-		h.Write([]byte(string(runes[i : i+e.n])))
-		sum := h.Sum64()
+		sum := e.seedHash
+		for _, c := range runes[i : i+e.n] {
+			w := utf8.EncodeRune(buf[:], c)
+			for _, b := range buf[:w] {
+				sum ^= uint64(b)
+				sum *= fnvPrime64
+			}
+		}
 		bucket := int(sum % uint64(e.dim))
 		// Signed hashing halves collision bias.
 		if sum&(1<<63) != 0 {
@@ -75,6 +158,7 @@ func (e *NGramEmbedder) Embed(text string) []float64 {
 			v[bucket]++
 		}
 	}
+	scratchPool.Put(sc)
 	normalize(v)
 	return v
 }
@@ -125,103 +209,26 @@ func Cosine(a, b []float64) float64 {
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
-// Neighbor is one k-NN search result.
-type Neighbor struct {
-	// ID is the identifier supplied at Add time.
-	ID string
-	// Distance is the L2 distance from the query.
-	Distance float64
-}
-
-// Index is an exact k-NN index over embedded texts. It is not safe for
-// concurrent mutation; build it fully, then query from any goroutine.
-type Index struct {
-	embedder Embedder
-	ids      []string
-	vecs     [][]float64
-	byID     map[string]int
-}
-
-// NewIndex returns an empty index using the given embedder.
-func NewIndex(e Embedder) *Index {
-	return &Index{embedder: e, byID: make(map[string]int)}
-}
-
-// Len returns the number of indexed items.
-func (ix *Index) Len() int { return len(ix.ids) }
-
-// Add embeds and stores text under id. Re-adding an existing id replaces
-// its vector.
-func (ix *Index) Add(id, text string) {
-	v := ix.embedder.Embed(text)
-	if pos, ok := ix.byID[id]; ok {
-		ix.vecs[pos] = v
-		return
+// l2sq32 returns the squared L2 distance between two equal-length float32
+// vectors. Four accumulators keep the loop pipelined; the compiler drops
+// the bounds checks thanks to the b = b[:len(a)] hint.
+func l2sq32(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	ix.byID[id] = len(ix.ids)
-	ix.ids = append(ix.ids, id)
-	ix.vecs = append(ix.vecs, v)
-}
-
-// Nearest returns the k nearest stored items to the query text by L2
-// distance, closest first. Ties break by insertion order for determinism.
-// If k exceeds the index size, all items are returned.
-func (ix *Index) Nearest(text string, k int) []Neighbor {
-	return ix.nearest(ix.embedder.Embed(text), k, -1)
-}
-
-// NearestOther behaves like Nearest but excludes the item stored under
-// excludeID — the standard "neighbours of a record other than itself"
-// query used by the entity-resolution and imputation workflows.
-func (ix *Index) NearestOther(text, excludeID string, k int) []Neighbor {
-	skip := -1
-	if pos, ok := ix.byID[excludeID]; ok {
-		skip = pos
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
 	}
-	return ix.nearest(ix.embedder.Embed(text), k, skip)
-}
-
-func (ix *Index) nearest(q []float64, k, skip int) []Neighbor {
-	if k <= 0 {
-		return nil
-	}
-	out := make([]Neighbor, 0, len(ix.ids))
-	for i, v := range ix.vecs {
-		if i == skip {
-			continue
-		}
-		out = append(out, Neighbor{ID: ix.ids[i], Distance: L2(q, v)})
-	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Distance < out[b].Distance })
-	if k < len(out) {
-		out = out[:k]
-	}
-	return out
-}
-
-// Blocks partitions the indexed items into groups whose pairwise L2
-// distance to a group seed is below threshold — a cheap embedding-based
-// blocking pass for entity resolution. Each item appears in exactly one
-// block; blocks preserve insertion order.
-func (ix *Index) Blocks(threshold float64) [][]string {
-	assigned := make([]bool, len(ix.ids))
-	var blocks [][]string
-	for i := range ix.ids {
-		if assigned[i] {
-			continue
-		}
-		block := []string{ix.ids[i]}
-		assigned[i] = true
-		for j := i + 1; j < len(ix.ids); j++ {
-			if assigned[j] {
-				continue
-			}
-			if L2(ix.vecs[i], ix.vecs[j]) < threshold {
-				block = append(block, ix.ids[j])
-				assigned[j] = true
-			}
-		}
-		blocks = append(blocks, block)
-	}
-	return blocks
+	return s0 + s1 + s2 + s3
 }

@@ -1,0 +1,319 @@
+package embed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workflow"
+)
+
+// Neighbor is one k-NN search result.
+type Neighbor struct {
+	// ID is the identifier supplied at Add time.
+	ID string
+	// Distance is the L2 distance from the query.
+	Distance float64
+}
+
+// Item is one (id, text) pair for batch insertion via AddAll.
+type Item struct {
+	ID, Text string
+}
+
+// IndexOptions configures an Index beyond the exact-scan defaults.
+type IndexOptions struct {
+	// ANN switches Nearest/NearestOther/NearestByID to approximate
+	// search: queries probe the closest k-means partitions instead of
+	// scanning every vector. Recall against exact search is a measured
+	// property (see Recall and `declctl index-bench`); raise Probes to
+	// trade speed back for recall. Within is unaffected — its pruning
+	// bound is exact, so it returns the same result as a full scan in
+	// both modes. Blocks compares partition candidates in both modes
+	// (see its doc comment for the fidelity contract).
+	ANN bool
+	// Partitions is the number of k-means partitions (default √N,
+	// computed when the partition structure is first built).
+	Partitions int
+	// Probes is the number of partitions scanned per ANN query (default
+	// max(2, Partitions/4)). Probing more partitions raises recall and
+	// cost; Probes ≥ Partitions degenerates to an exact scan.
+	Probes int
+	// Seed drives the deterministic k-means initialisation (default 1).
+	Seed int64
+}
+
+// Index is a k-NN index over embedded texts. Vectors live in a single
+// contiguous []float32 backing array — one allocation, cache-friendly
+// scans — and top-k queries use a bounded max-heap, so exact search is
+// O(N·dim + N·log k) with no full-result materialisation. It is not safe
+// for concurrent mutation; build it fully, then query from any goroutine.
+type Index struct {
+	embedder Embedder
+	dim      int
+	ids      []string
+	data     []float32 // len(ids) × dim, row-major
+	byID     map[string]int
+	opts     IndexOptions
+	// part is built lazily on the first query needing it and discarded
+	// on mutation. Atomic pointer + build mutex so concurrent queries
+	// (allowed once mutation stops) race-freely share one build.
+	part   atomic.Pointer[partitions]
+	partMu sync.Mutex
+}
+
+// NewIndex returns an empty exact-search index using the given embedder.
+func NewIndex(e Embedder) *Index { return NewIndexWith(e, IndexOptions{}) }
+
+// NewIndexWith returns an empty index with explicit options (ANN mode,
+// partition/probe counts, k-means seed).
+func NewIndexWith(e Embedder, opts IndexOptions) *Index {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Index{embedder: e, dim: e.Dim(), byID: make(map[string]int), opts: opts}
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// vec returns the stored vector at position pos as a subslice of the
+// backing array.
+func (ix *Index) vec(pos int) []float32 {
+	return ix.data[pos*ix.dim : (pos+1)*ix.dim]
+}
+
+// insert stores a float64 embedding under id, converting into the
+// contiguous float32 array. Re-adding an existing id replaces its vector.
+func (ix *Index) insert(id string, v []float64) {
+	if len(v) != ix.dim {
+		panic(fmt.Sprintf("embed: vector length %d does not match index dim %d", len(v), ix.dim))
+	}
+	ix.part.Store(nil)
+	if pos, ok := ix.byID[id]; ok {
+		dst := ix.vec(pos)
+		for i, x := range v {
+			dst[i] = float32(x)
+		}
+		return
+	}
+	ix.byID[id] = len(ix.ids)
+	ix.ids = append(ix.ids, id)
+	for _, x := range v {
+		ix.data = append(ix.data, float32(x))
+	}
+}
+
+// Add embeds and stores text under id. Re-adding an existing id replaces
+// its vector.
+func (ix *Index) Add(id, text string) {
+	ix.insert(id, ix.embedder.Embed(text))
+}
+
+// AddAll embeds and stores every item, parallelising the embedding work
+// across CPUs via workflow.Map — the embedder is called from multiple
+// goroutines (see the Embedder contract). Insertion order (and therefore
+// tie-break order) matches the slice order, exactly as sequential Add
+// calls would produce.
+func (ix *Index) AddAll(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	vecs, _ := workflow.Map(context.Background(), len(items), runtime.GOMAXPROCS(0),
+		func(_ context.Context, i int) ([]float64, error) {
+			return ix.embedder.Embed(items[i].Text), nil
+		})
+	if cap(ix.data)-len(ix.data) < len(items)*ix.dim {
+		grown := make([]float32, len(ix.data), len(ix.data)+len(items)*ix.dim)
+		copy(grown, ix.data)
+		ix.data = grown
+	}
+	for i, v := range vecs {
+		ix.insert(items[i].ID, v)
+	}
+}
+
+// embed32 embeds query text into a float32 vector.
+func (ix *Index) embed32(text string) []float32 {
+	v := ix.embedder.Embed(text)
+	q := make([]float32, len(v))
+	for i, x := range v {
+		q[i] = float32(x)
+	}
+	return q
+}
+
+// Nearest returns the k nearest stored items to the query text by L2
+// distance, closest first. Ties break by insertion order for determinism.
+// If k exceeds the index size, all items are returned. With ANN enabled
+// the result is approximate (see IndexOptions.ANN).
+func (ix *Index) Nearest(text string, k int) []Neighbor {
+	if k <= 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	return ix.search(ix.embed32(text), k, -1)
+}
+
+// NearestOther behaves like Nearest but excludes the item stored under
+// excludeID — the standard "neighbours of a record other than itself"
+// query used by the entity-resolution and imputation workflows.
+func (ix *Index) NearestOther(text, excludeID string, k int) []Neighbor {
+	if k <= 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	skip := -1
+	if pos, ok := ix.byID[excludeID]; ok {
+		skip = pos
+	}
+	return ix.search(ix.embed32(text), k, skip)
+}
+
+// NearestByID returns the k nearest items to the one stored under id,
+// excluding the item itself, reusing its stored vector — no re-embedding.
+// Unknown ids return nil.
+func (ix *Index) NearestByID(id string, k int) []Neighbor {
+	pos, ok := ix.byID[id]
+	if !ok || k <= 0 {
+		return nil
+	}
+	return ix.search(ix.vec(pos), k, pos)
+}
+
+// DistanceByID returns the L2 distance between two stored vectors. The
+// bool is false when either id is unknown.
+func (ix *Index) DistanceByID(a, b string) (float64, bool) {
+	pa, ok := ix.byID[a]
+	if !ok {
+		return 0, false
+	}
+	pb, ok := ix.byID[b]
+	if !ok {
+		return 0, false
+	}
+	return math.Sqrt(float64(l2sq32(ix.vec(pa), ix.vec(pb)))), true
+}
+
+// search dispatches a query vector to the ANN or exact path. skip is a
+// position to exclude (-1 for none).
+func (ix *Index) search(q []float32, k, skip int) []Neighbor {
+	if ix.opts.ANN && len(ix.ids) >= annMinPoints {
+		return ix.annSearch(q, k, skip)
+	}
+	t := newTopK(k)
+	for i := 0; i < len(ix.ids); i++ {
+		if i == skip {
+			continue
+		}
+		t.push(i, l2sq32(q, ix.vec(i)))
+	}
+	return t.neighbors(ix.ids)
+}
+
+// topK is a bounded max-heap over (squared distance, insertion position):
+// the root is the worst candidate kept, so a closer candidate replaces it
+// in O(log k). Ties order by position, reproducing the stable-sort
+// ranking of the previous full-sort implementation.
+type topK struct {
+	k   int
+	idx []int
+	d2  []float32
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, idx: make([]int, 0, k), d2: make([]float32, 0, k)}
+}
+
+// after reports whether candidate a ranks strictly after candidate b
+// (farther, or equally far but inserted later).
+func (t *topK) after(ai int, ad2 float32, bi int, bd2 float32) bool {
+	return ad2 > bd2 || (ad2 == bd2 && ai > bi)
+}
+
+func (t *topK) push(i int, d2 float32) {
+	if len(t.idx) < t.k {
+		t.idx = append(t.idx, i)
+		t.d2 = append(t.d2, d2)
+		// Sift up: a child ranking after its parent moves toward the root.
+		c := len(t.idx) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if !t.after(t.idx[c], t.d2[c], t.idx[p], t.d2[p]) {
+				break
+			}
+			t.idx[c], t.idx[p] = t.idx[p], t.idx[c]
+			t.d2[c], t.d2[p] = t.d2[p], t.d2[c]
+			c = p
+		}
+		return
+	}
+	if !t.after(t.idx[0], t.d2[0], i, d2) {
+		return // candidate is no better than the current worst
+	}
+	t.idx[0], t.d2[0] = i, d2
+	// Sift down.
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= len(t.idx) {
+			break
+		}
+		if r := c + 1; r < len(t.idx) && t.after(t.idx[r], t.d2[r], t.idx[c], t.d2[c]) {
+			c = r
+		}
+		if !t.after(t.idx[c], t.d2[c], t.idx[p], t.d2[p]) {
+			break
+		}
+		t.idx[c], t.idx[p] = t.idx[p], t.idx[c]
+		t.d2[c], t.d2[p] = t.d2[p], t.d2[c]
+		p = c
+	}
+}
+
+// neighbors drains the heap into a closest-first Neighbor slice.
+func (t *topK) neighbors(ids []string) []Neighbor {
+	order := make([]int, len(t.idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return t.after(t.idx[order[b]], t.d2[order[b]], t.idx[order[a]], t.d2[order[a]])
+	})
+	out := make([]Neighbor, len(order))
+	for i, h := range order {
+		out[i] = Neighbor{ID: ids[t.idx[h]], Distance: math.Sqrt(float64(t.d2[h]))}
+	}
+	return out
+}
+
+// Recall measures the fraction of exact k-NN results that approx also
+// returns, averaged over the query texts — the measured-recall knob for
+// tuning IndexOptions.Probes. Both indexes must hold the same items.
+func Recall(exact, approx *Index, queries []string, k int) float64 {
+	if len(queries) == 0 || k <= 0 {
+		return 1
+	}
+	var sum float64
+	for _, q := range queries {
+		truth := exact.Nearest(q, k)
+		if len(truth) == 0 {
+			sum++
+			continue
+		}
+		want := make(map[string]bool, len(truth))
+		for _, nb := range truth {
+			want[nb.ID] = true
+		}
+		hit := 0
+		for _, nb := range approx.Nearest(q, k) {
+			if want[nb.ID] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(truth))
+	}
+	return sum / float64(len(queries))
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+)
+
+// IndexBenchConfig sizes the vector-retrieval micro-study behind
+// `declctl index-bench`.
+type IndexBenchConfig struct {
+	// N is the number of indexed sim records.
+	N int
+	// K is the neighbours retrieved per query.
+	K int
+	// Queries is the number of timed queries (drawn from the corpus).
+	Queries int
+	// Partitions / Probes configure the ANN index (0 = defaults).
+	Partitions int
+	Probes     int
+}
+
+// DefaultIndexBenchConfig exercises the acceptance scale: 10k records,
+// top-10 queries.
+func DefaultIndexBenchConfig() IndexBenchConfig {
+	return IndexBenchConfig{N: 10000, K: 10, Queries: 200}
+}
+
+// IndexBenchRow reports one index mode's build time, query throughput,
+// and recall against exact search.
+type IndexBenchRow struct {
+	Mode    string
+	BuildMS float64
+	QPS     float64
+	Recall  float64
+}
+
+// IndexBench builds exact and ANN indexes over the citation sim corpus
+// and measures queries/sec and recall@K for each — the measured-recall
+// knob made observable from the command line.
+func IndexBench(cfg IndexBenchConfig) ([]IndexBenchRow, error) {
+	if cfg.N <= 0 || cfg.K <= 0 || cfg.Queries <= 0 {
+		return nil, fmt.Errorf("index-bench: N, K, Queries must be positive")
+	}
+	// Queries are held out of the index: same corpus distribution, no
+	// guaranteed self-hit inflating recall.
+	total := cfg.N + cfg.Queries
+	corpus := dataset.GenerateCitations(dataset.CitationConfig{
+		Entities: 2 * total, Pairs: 10, PositiveFrac: 0.24, Seed: 7,
+	})
+	if len(corpus.Records) < total {
+		return nil, fmt.Errorf("index-bench: citation corpus yielded %d < %d records", len(corpus.Records), total)
+	}
+	items := make([]embed.Item, cfg.N)
+	for i := range items {
+		items[i] = embed.Item{ID: fmt.Sprintf("c%d", i), Text: corpus.Records[i].Text()}
+	}
+	queries := make([]string, cfg.Queries)
+	for i := range queries {
+		queries[i] = corpus.Records[cfg.N+i].Text()
+	}
+
+	build := func(opts embed.IndexOptions) (*embed.Index, float64) {
+		start := time.Now()
+		ix := embed.NewIndexWith(embed.Default(), opts)
+		ix.AddAll(items)
+		ix.Nearest(queries[0], cfg.K) // force partition build into build time
+		return ix, float64(time.Since(start).Microseconds()) / 1000
+	}
+	exact, exactBuild := build(embed.IndexOptions{})
+	ann, annBuild := build(embed.IndexOptions{ANN: true, Partitions: cfg.Partitions, Probes: cfg.Probes})
+
+	qps := func(ix *embed.Index) float64 {
+		start := time.Now()
+		for _, q := range queries {
+			ix.Nearest(q, cfg.K)
+		}
+		return float64(cfg.Queries) / time.Since(start).Seconds()
+	}
+	rows := []IndexBenchRow{
+		{Mode: "exact", BuildMS: exactBuild, QPS: qps(exact), Recall: 1},
+		{Mode: "ann", BuildMS: annBuild, QPS: qps(ann), Recall: embed.Recall(exact, ann, queries, cfg.K)},
+	}
+	return rows, nil
+}
+
+// FormatIndexBench renders the study in the repo's table style.
+func FormatIndexBench(rows []IndexBenchRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %12s %10s\n", "mode", "build(ms)", "queries/sec", "recall")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %10.1f %12.0f %10.3f\n", r.Mode, r.BuildMS, r.QPS, r.Recall)
+	}
+	if len(rows) == 2 && rows[0].QPS > 0 {
+		fmt.Fprintf(&sb, "ann speedup over exact: %.1fx at recall %.3f\n",
+			rows[1].QPS/rows[0].QPS, rows[1].Recall)
+	}
+	return sb.String()
+}
