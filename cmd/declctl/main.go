@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,9 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -48,6 +52,11 @@ func main() {
 	ixQueries := sub.Int("queries", 200, "timed queries for index-bench")
 	ixPartitions := sub.Int("partitions", 0, "ANN partitions for index-bench (0 = √N)")
 	ixProbes := sub.Int("probes", 0, "ANN probes per query for index-bench (0 = partitions/4)")
+	specPath := sub.String("spec", "", "JSON pipeline spec file for pipeline (empty = built-in demo)")
+	plModel := sub.String("model", "sim-gpt-3.5-turbo", "model name for pipeline")
+	plNaive := sub.Bool("naive", false, "run the pipeline unoptimized with isolated per-stage engines")
+	plRecords := sub.Int("records", 24, "base source records for pipeline-study")
+	plDup := sub.Float64("dup", 0.4, "duplicated fraction for pipeline-study")
 	sub.Parse(flag.Args()[1:])
 
 	ctx := context.Background()
@@ -198,6 +207,72 @@ func main() {
 		return nil
 	}
 
+	runPipeline := func() error {
+		spec := pipeline.Spec{
+			Source: pipeline.SourceSpec{Dataset: "flavors"},
+			Stages: []pipeline.StageSpec{
+				{Name: "choc", Kind: pipeline.KindFilter, Field: "name",
+					Predicate: "it is a chocolatey flavor", Selectivity: 0.4},
+				{Name: "rank", Kind: pipeline.KindSort, Field: "name",
+					Criterion: "how chocolatey they are", Strategy: "rating"},
+			},
+		}
+		if *specPath != "" {
+			raw, err := os.ReadFile(*specPath)
+			if err != nil {
+				return err
+			}
+			spec = pipeline.Spec{}
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				return fmt.Errorf("parsing %s: %w", *specPath, err)
+			}
+		}
+		tables, err := spec.Source.Tables()
+		if err != nil {
+			return err
+		}
+		if !*plNaive {
+			optimized, rewrites, err := pipeline.Optimize(spec)
+			if err != nil {
+				return err
+			}
+			for _, rw := range rewrites {
+				fmt.Printf("rewrite: %s\n", rw)
+			}
+			spec = optimized
+		}
+		p, err := pipeline.Compile(spec)
+		if err != nil {
+			return err
+		}
+		counting := llm.NewCounting(sim.NewNamed(*plModel))
+		res, err := p.Run(ctx, pipeline.ExecConfig{
+			Model:       counting,
+			Batch:       *batch,
+			Parallelism: 16,
+			Isolated:    *plNaive,
+		}, tables)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pipeline.FormatResult(res))
+		total := counting.Total()
+		fmt.Printf("upstream: %d calls, %d tokens\n", total.Calls, total.Total())
+		return nil
+	}
+	pipelineStudy := func() error {
+		cfg := experiments.DefaultPipelineStudyConfig()
+		cfg.Records = *plRecords
+		cfg.DupFrac = *plDup
+		cfg.Batch = *batch
+		res, err := experiments.PipelineStudy(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPipelineStudy(res))
+		return nil
+	}
+
 	switch cmd {
 	case "table1":
 		run("Table 1: sorting 20 flavours", table1)
@@ -229,6 +304,10 @@ func main() {
 		run("Execution layer: shared cache + coalescing + batching", execLayer)
 	case "index-bench":
 		run(fmt.Sprintf("Vector index: exact vs ANN (%d records)", *ixN), indexBench)
+	case "pipeline":
+		run("Pipeline: optimized operator DAG", runPipeline)
+	case "pipeline-study":
+		run("Pipeline study: naive sequential vs optimized DAG", pipelineStudy)
 	case "all":
 		run("Table 1: sorting 20 flavours", table1)
 		run("Table 2: sorting 100 words (sort then insert)", table2)
@@ -244,6 +323,7 @@ func main() {
 		run("Ablation A8: model cascade", ablateCascade)
 		run("Ablation A9: template brittleness", ablateTemplates)
 		run("Execution layer: shared cache + coalescing + batching", execLayer)
+		run("Pipeline study: naive sequential vs optimized DAG", pipelineStudy)
 	default:
 		usage()
 		os.Exit(2)
@@ -273,6 +353,11 @@ commands:
                   workload (-items N -repeats N -batch K)
   index-bench     vector retrieval: queries/sec and recall, exact vs ANN
                   (-n N -k K -queries Q -partitions P -probes R)
+  pipeline        run a declarative operator DAG from a JSON spec with the
+                  optimizer, shared engine, and per-stage attribution
+                  (-spec file.json -model M -batch K -naive)
+  pipeline-study  naive sequential operators vs the optimized pipeline on
+                  one workload (-records N -dup F -batch K)
   all             run everything
 `)
 }

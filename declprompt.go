@@ -24,6 +24,8 @@
 package declprompt
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/llm"
@@ -64,6 +66,14 @@ type Budget = workflow.Budget
 type (
 	ExecLayer = workflow.ExecLayer
 	ExecStats = workflow.ExecStats
+)
+
+// Attribution breaks one shared budget's spend down by pipeline stage;
+// IndexRegistry shares one built embedding index per distinct corpus
+// across operators (see docs/PIPELINE.md).
+type (
+	Attribution   = workflow.Attribution
+	IndexRegistry = embed.Registry
 )
 
 // Operator request/result types.
@@ -168,6 +178,27 @@ func WithExecutionLayer(l *ExecLayer) Option { return core.WithExecutionLayer(l)
 // WithBatching packs up to k compatible unit tasks into one prompt for
 // the strategies that issue homogeneous per-item tasks.
 func WithBatching(k int) Option { return core.WithBatching(k) }
+
+// WithAttribution records every upstream call's usage under the stage
+// label carried by its context (TagStage) — how a pipeline breaks one
+// shared budget down per stage.
+func WithAttribution(a *Attribution) Option { return core.WithAttribution(a) }
+
+// WithIndexRegistry reuses one built embedding index per distinct corpus
+// across the engine's operators (resolve, dedupe, join, find, impute).
+func WithIndexRegistry(r *IndexRegistry) Option { return core.WithIndexRegistry(r) }
+
+// NewAttribution returns an empty per-stage usage ledger.
+func NewAttribution() *Attribution { return workflow.NewAttribution() }
+
+// NewIndexRegistry returns an empty content-keyed index registry.
+func NewIndexRegistry() *IndexRegistry { return embed.NewRegistry() }
+
+// TagStage returns a context whose engine calls are attributed to the
+// given stage label (see WithAttribution).
+func TagStage(ctx context.Context, stage string) context.Context {
+	return workflow.TagStage(ctx, stage)
+}
 
 // NewExecLayer returns a shared execution layer; pass it to any number of
 // engines via WithExecutionLayer so one cache and coalescer span them all.

@@ -37,6 +37,8 @@ type Engine struct {
 	cache       bool
 	exec        *workflow.ExecLayer
 	batch       int
+	attr        *workflow.Attribution
+	registry    *embed.Registry
 }
 
 // Option configures an Engine.
@@ -89,6 +91,24 @@ func WithBatching(k int) Option {
 	return func(e *Engine) { e.batch = k }
 }
 
+// WithAttribution attaches a per-stage usage ledger: every upstream call
+// the engine issues is recorded under the stage label carried by its
+// context (workflow.TagStage), in addition to the per-invocation usage the
+// operator results report. The pipeline executor uses this to break one
+// shared budget down by stage; untagged calls land under the "" label.
+func WithAttribution(a *workflow.Attribution) Option {
+	return func(e *Engine) { e.attr = a }
+}
+
+// WithIndexRegistry attaches a shared embedding-index registry: operators
+// that index a corpus (resolve, dedupe, join, find, impute) reuse one
+// built index per distinct corpus instead of re-embedding it per
+// invocation. Pass the same registry to every engine of a pipeline — or
+// keep one per service — to make corpus indexing a once-per-content cost.
+func WithIndexRegistry(r *embed.Registry) Option {
+	return func(e *Engine) { e.registry = r }
+}
+
 // New returns an engine using the given model.
 func New(model llm.Model, opts ...Option) *Engine {
 	e := &Engine{
@@ -109,7 +129,8 @@ func New(model llm.Model, opts ...Option) *Engine {
 func (e *Engine) Model() llm.Model { return e.model }
 
 // session wraps the engine's model for one operator invocation: budget
-// admission, usage counting scoped to the operation, optional unit-task
+// admission, usage counting scoped to the operation, optional per-stage
+// usage attribution (tag read from the call context), optional unit-task
 // batching, and a cache — the engine's shared execution layer when one is
 // attached, a private per-invocation cache otherwise.
 type session struct {
@@ -129,6 +150,12 @@ func (e *Engine) newBatchedSession() *session { return e.sessionWith(true) }
 func (e *Engine) sessionWith(batchable bool) *session {
 	counting := llm.NewCounting(workflow.NewBudgeted(e.model, e.budget))
 	var m llm.Model = counting
+	if e.attr != nil {
+		// Below the batcher and the cache, so attribution sees exactly the
+		// billed upstream calls — envelopes once, cache hits never — tagged
+		// with the stage label of the context that led the call.
+		m = workflow.NewAttributing(m, e.attr)
+	}
 	if batchable && e.batch > 1 {
 		m = workflow.NewBatching(m, workflow.BatchOptions{MaxBatch: e.batch})
 	}
@@ -144,6 +171,19 @@ func (e *Engine) sessionWith(batchable bool) *session {
 // usage returns the tokens actually spent in this session (cache hits are
 // free and therefore absent).
 func (s *session) usage() token.Usage { return s.counting.Total() }
+
+// index builds — or, when an index registry is attached, reuses — a k-NN
+// index over the items. Registry-served indexes are shared and must be
+// treated as query-only, which every operator already honours (build
+// fully, then query).
+func (e *Engine) index(items []embed.Item) *embed.Index {
+	if e.registry != nil {
+		return e.registry.Index(e.embedder, items)
+	}
+	ix := embed.NewIndex(e.embedder)
+	ix.AddAll(items)
+	return ix
+}
 
 // mapIdx fans fn out over n indices with the engine's parallelism.
 func (e *Engine) mapIdx(ctx context.Context, n int, fn func(ctx context.Context, i int) (string, error)) ([]string, error) {

@@ -109,8 +109,7 @@ func (e *Engine) Find(ctx context.Context, req FindRequest) (FindResult, error) 
 		for i, it := range req.Items {
 			items[i] = embed.Item{ID: strconv.Itoa(i), Text: it}
 		}
-		ix := embed.NewIndex(e.embedder)
-		ix.AddAll(items)
+		ix := e.index(items)
 		pool := req.CandidateFactor * req.Limit
 		if pool > len(req.Items) {
 			pool = len(req.Items)

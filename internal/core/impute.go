@@ -84,8 +84,9 @@ func (e *Engine) Impute(ctx context.Context, req ImputeRequest) (ImputeResult, e
 
 	// Index training records by their serialization without the target —
 	// the same view the model gets, so neighbours reflect queryable
-	// evidence only. AddAll embeds the training corpus in parallel.
-	ix := embed.NewIndex(e.embedder)
+	// evidence only. The corpus is embedded in parallel, or reused outright
+	// when an index registry already holds it (e.g. planner profiling runs
+	// over the same training set).
 	targets := make(map[string]string, len(req.Train))
 	trainByID := make(map[string]dataset.Record, len(req.Train))
 	trainItems := make([]embed.Item, 0, len(req.Train))
@@ -98,7 +99,7 @@ func (e *Engine) Impute(ctx context.Context, req ImputeRequest) (ImputeResult, e
 		targets[r.ID] = v
 		trainByID[r.ID] = r
 	}
-	ix.AddAll(trainItems)
+	ix := e.index(trainItems)
 
 	// Imputation prompts are homogeneous per-record unit tasks (the knn
 	// strategy issues none, so the wrapper is inert there).

@@ -145,7 +145,7 @@ func (e *Engine) joinTransitive(ctx context.Context, s *session, req JoinRequest
 	// keeps Within exact, so candidate generation matches the old full
 	// L×R scan while skipping partitions beyond the cutoff.
 	rightIDs := corpusIDs(len(req.Right))
-	rix := indexEntities(e.embedder, req.Right, rightIDs)
+	rix := e.indexEntities(req.Right, rightIDs)
 	var res JoinResult
 	var cands []cand
 	for l := range req.Left {

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+// planCandidate builds a synthetic candidate with a fixed accuracy and an
+// exact projected cost: the test model is priced at $1 per 1000 prompt
+// tokens, so usage of 1000 prompt tokens with scale S projects to S
+// dollars.
+func planCandidate(name string, accuracy, projected float64) Candidate {
+	return Candidate{
+		Name:        name,
+		Model:       "plan-test-model",
+		ScaleFactor: projected,
+		Run: func(ctx context.Context) (float64, token.Usage, error) {
+			return accuracy, token.Usage{PromptTokens: 1000, Calls: 1}, nil
+		},
+	}
+}
+
+func planChoice(t *testing.T, candidates []Candidate, target, maxDollars float64) Plan {
+	t.Helper()
+	token.RegisterPrice("plan-test-model", token.Price{InputPer1K: 1})
+	plan, err := PlanStrategies(context.Background(), candidates, target, maxDollars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestPlanStrategiesRule1 pins the first selection rule: the cheapest
+// candidate meeting the accuracy target within budget wins, even when a
+// cheaper-but-inaccurate or better-but-pricier candidate exists.
+func TestPlanStrategiesRule1(t *testing.T) {
+	plan := planChoice(t, []Candidate{
+		planCandidate("cheap-bad", 0.50, 1),
+		planCandidate("mid-good", 0.85, 3),
+		planCandidate("rich-better", 0.95, 8),
+	}, 0.8, 10)
+	if plan.Chosen != "mid-good" {
+		t.Fatalf("chose %q (%s), want cheapest meeting target", plan.Chosen, plan.Reason)
+	}
+	if !strings.Contains(plan.Reason, "cheapest strategy meeting accuracy") {
+		t.Fatalf("reason = %q", plan.Reason)
+	}
+	// Reports are sorted by projected cost.
+	for i := 1; i < len(plan.Reports); i++ {
+		if plan.Reports[i-1].ProjectedCost > plan.Reports[i].ProjectedCost {
+			t.Fatalf("reports unsorted: %+v", plan.Reports)
+		}
+	}
+}
+
+// TestPlanStrategiesBoundaries pins the comparison directions at the rule
+// edges: accuracy exactly at the target qualifies (>=), and projected cost
+// exactly at the budget qualifies (<=).
+func TestPlanStrategiesBoundaries(t *testing.T) {
+	plan := planChoice(t, []Candidate{
+		planCandidate("exactly-on-target", 0.80, 5),
+		planCandidate("above-target-pricier", 0.90, 6),
+	}, 0.8, 5)
+	if plan.Chosen != "exactly-on-target" {
+		t.Fatalf("accuracy == target must qualify; chose %q", plan.Chosen)
+	}
+	plan = planChoice(t, []Candidate{
+		planCandidate("at-budget", 0.9, 5),
+		planCandidate("under-budget-inaccurate", 0.1, 1),
+	}, 0.8, 5)
+	if plan.Chosen != "at-budget" {
+		t.Fatalf("cost == budget must qualify; chose %q", plan.Chosen)
+	}
+	// One cent over the cap disqualifies: rule 1 skips it, rule 2 picks
+	// the most accurate candidate that fits.
+	plan = planChoice(t, []Candidate{
+		planCandidate("over-budget", 0.9, 5.01),
+		planCandidate("in-budget", 0.6, 1),
+	}, 0.8, 5)
+	if plan.Chosen != "in-budget" || !strings.Contains(plan.Reason, "most accurate within budget") {
+		t.Fatalf("chose %q (%s)", plan.Chosen, plan.Reason)
+	}
+}
+
+// TestPlanStrategiesRule2 pins the fallback when nothing meets the
+// accuracy target: most accurate within budget, ties resolved toward the
+// cheaper candidate by the stable cost ordering.
+func TestPlanStrategiesRule2(t *testing.T) {
+	plan := planChoice(t, []Candidate{
+		planCandidate("cheap-weak", 0.40, 1),
+		planCandidate("mid-strong", 0.70, 3),
+		planCandidate("pricier-strongest", 0.75, 20), // over budget, ignored
+	}, 0.9, 10)
+	if plan.Chosen != "mid-strong" {
+		t.Fatalf("chose %q (%s), want most accurate within budget", plan.Chosen, plan.Reason)
+	}
+	// Accuracy tie: the stable sort by projected cost makes the cheaper
+	// one win (strict > comparison keeps the first).
+	plan = planChoice(t, []Candidate{
+		planCandidate("tied-pricier", 0.70, 4),
+		planCandidate("tied-cheaper", 0.70, 2),
+	}, 0.9, 10)
+	if plan.Chosen != "tied-cheaper" {
+		t.Fatalf("accuracy tie chose %q, want the cheaper candidate", plan.Chosen)
+	}
+}
+
+// TestPlanStrategiesRule3 pins the last resort: every candidate blows the
+// budget, so the cheapest outright is chosen.
+func TestPlanStrategiesRule3(t *testing.T) {
+	plan := planChoice(t, []Candidate{
+		planCandidate("huge", 0.95, 50),
+		planCandidate("merely-large", 0.60, 20),
+	}, 0.9, 5)
+	if plan.Chosen != "merely-large" || !strings.Contains(plan.Reason, "cheapest overall") {
+		t.Fatalf("chose %q (%s)", plan.Chosen, plan.Reason)
+	}
+}
+
+// TestPlanStrategiesUnlimitedBudget: maxDollars <= 0 disables the cap, so
+// rule 1 may pick an arbitrarily expensive candidate.
+func TestPlanStrategiesUnlimitedBudget(t *testing.T) {
+	plan := planChoice(t, []Candidate{
+		planCandidate("cheap-weak", 0.40, 1),
+		planCandidate("expensive-good", 0.95, 1e6),
+	}, 0.9, 0)
+	if plan.Chosen != "expensive-good" {
+		t.Fatalf("chose %q (%s)", plan.Chosen, plan.Reason)
+	}
+}
+
+func TestPlanStrategiesErrors(t *testing.T) {
+	if _, err := PlanStrategies(ctx(), nil, 0.5, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("no candidates: err = %v", err)
+	}
+	bad := planCandidate("zero-scale", 0.9, 1)
+	bad.ScaleFactor = 0
+	if _, err := PlanStrategies(ctx(), []Candidate{bad}, 0.5, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("non-positive scale: err = %v", err)
+	}
+	failing := Candidate{
+		Name: "boom", Model: "plan-test-model", ScaleFactor: 1,
+		Run: func(context.Context) (float64, token.Usage, error) {
+			return 0, token.Usage{}, fmt.Errorf("profiling exploded")
+		},
+	}
+	if _, err := PlanStrategies(ctx(), []Candidate{failing}, 0.5, 0); err == nil || !strings.Contains(err.Error(), "profiling exploded") {
+		t.Fatalf("run error not propagated: %v", err)
+	}
+}

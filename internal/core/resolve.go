@@ -25,14 +25,14 @@ func corpusIDs(n int) []string {
 
 // indexEntities builds a k-NN index over the corpus with one embedding
 // pass (parallelised across CPUs), ids index-aligned with the corpus.
-func indexEntities(em embed.Embedder, corpus []Entity, ids []string) *embed.Index {
+// With an index registry attached, the same corpus indexed by another
+// stage or invocation is reused instead of re-embedded.
+func (e *Engine) indexEntities(corpus []Entity, ids []string) *embed.Index {
 	items := make([]embed.Item, len(corpus))
 	for i, ent := range corpus {
 		items[i] = embed.Item{ID: ids[i], Text: ent.Text}
 	}
-	ix := embed.NewIndex(em)
-	ix.AddAll(items)
-	return ix
+	return e.index(items)
 }
 
 // Entity is one record participating in entity resolution: an identifier
@@ -214,7 +214,7 @@ func (e *Engine) resolveTransitive(ctx context.Context, s *session, req PairsReq
 
 func (e *Engine) resolveBlocked(ctx context.Context, s *session, req PairsRequest) (PairsResult, error) {
 	ids := corpusIDs(len(req.Corpus))
-	ix := indexEntities(e.embedder, req.Corpus, ids)
+	ix := e.indexEntities(req.Corpus, ids)
 	res := PairsResult{Match: make([]bool, len(req.Pairs))}
 	var askIdx []int
 	for i, p := range req.Pairs {
@@ -312,7 +312,7 @@ func (e *Engine) Dedupe(ctx context.Context, req DedupeRequest) (DedupeResult, e
 		comparisons, err = e.dedupePairs(ctx, s, req.Records, graph, allPairs(len(req.Records)))
 	case DedupeBlockedPairwise:
 		ids := corpusIDs(len(req.Records))
-		ix := indexEntities(e.embedder, req.Records, ids)
+		ix := e.indexEntities(req.Records, ids)
 		var pairs [][2]int
 		for _, block := range ix.Blocks(req.BlockDistance) {
 			idxs := make([]int, len(block))
@@ -510,7 +510,7 @@ func (e *Engine) resolveEvidence(ctx context.Context, s *session, req PairsReque
 // via NearestByID instead of re-embedding the query side.
 func (e *Engine) neighbourhoodComparisons(ctx context.Context, s *session, req PairsRequest) ([][2]int, []bool, error) {
 	ids := corpusIDs(len(req.Corpus))
-	ix := indexEntities(e.embedder, req.Corpus, ids)
+	ix := e.indexEntities(req.Corpus, ids)
 	nbrCache := make(map[int][]int)
 	neighboursOf := func(side int) []int {
 		if nbs, ok := nbrCache[side]; ok {

@@ -1,0 +1,127 @@
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// registryKey identifies a corpus by content: the embedding dimensionality,
+// an embedder fingerprint, and a 128-bit hash over the (id, text) pairs in
+// order. Two calls with the same items and an equivalent embedder —
+// regardless of which operator or pipeline stage makes them — resolve to
+// the same key and therefore the same built index.
+type registryKey struct {
+	dim         int
+	n           int
+	fingerprint uint64
+	hash        [16]byte
+}
+
+// registryEntry guards one index build: the first requester builds inside
+// the once, later requesters (including concurrent ones) share the result.
+type registryEntry struct {
+	once sync.Once
+	ix   *Index
+}
+
+// Registry caches built indexes keyed by corpus content and by an
+// embedder fingerprint (the embedding of a fixed probe text), so stages
+// of one pipeline (and repeated planner profiling passes) that index the
+// same corpus with equivalent embedders embed it exactly once, while
+// engines sharing a registry with *different* embedder configurations
+// never serve each other's vectors. Indexes are exact-search, built with
+// default options.
+//
+// Returned indexes are shared: treat them as immutable and query-only
+// (Index is safe for concurrent queries once mutation stops, which the
+// registry guarantees by building fully before publishing). Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[registryKey]*registryEntry
+	builds  int
+	hits    int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[registryKey]*registryEntry)}
+}
+
+// keyOf hashes the corpus content. FNV-128a over length-prefixed fields
+// keeps distinct corpora from colliding by concatenation tricks.
+func keyOf(em Embedder, items []Item) registryKey {
+	h := fnv.New128a()
+	var lenBuf [8]byte
+	writeStr := func(s string) {
+		n := len(s)
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	for _, it := range items {
+		writeStr(it.ID)
+		writeStr(it.Text)
+	}
+	key := registryKey{dim: em.Dim(), n: len(items), fingerprint: fingerprint(em)}
+	h.Sum(key.hash[:0])
+	return key
+}
+
+// fingerprint distinguishes embedder configurations without requiring
+// them to be comparable or named: two embedders that agree on a fixed
+// probe text are, for retrieval purposes, the same deterministic
+// function. (Embedders are deterministic by contract.)
+func fingerprint(em Embedder) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range em.Embed("embed: registry probe text") {
+		bits := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Index returns a shared index over exactly these items, building it on
+// first request (embedding parallelised via AddAll) and serving every
+// later request for the same corpus from cache.
+func (r *Registry) Index(em Embedder, items []Item) *Index {
+	key := keyOf(em, items)
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if !ok {
+		e = &registryEntry{}
+		r.entries[key] = e
+	}
+	r.mu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		ix := NewIndex(em)
+		ix.AddAll(items)
+		e.ix = ix
+		built = true
+	})
+	r.mu.Lock()
+	if built {
+		r.builds++
+	} else {
+		r.hits++
+	}
+	r.mu.Unlock()
+	return e.ix
+}
+
+// Stats returns how many indexes were built and how many requests were
+// served from an already-built index.
+func (r *Registry) Stats() (builds, hits int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.builds, r.hits
+}

@@ -1,0 +1,113 @@
+package embed
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingEmbedder counts Embed calls; safe for concurrent use.
+type countingEmbedder struct {
+	inner Embedder
+	calls atomic.Int64
+}
+
+func (c *countingEmbedder) Embed(text string) []float64 {
+	c.calls.Add(1)
+	return c.inner.Embed(text)
+}
+
+func (c *countingEmbedder) Dim() int { return c.inner.Dim() }
+
+func testItems(n int, prefix string) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: fmt.Sprintf("%s-%d", prefix, i), Text: fmt.Sprintf("%s record number %d", prefix, i)}
+	}
+	return items
+}
+
+func TestRegistryReusesIndexForSameCorpus(t *testing.T) {
+	em := &countingEmbedder{inner: Default()}
+	r := NewRegistry()
+	corpus := testItems(20, "a")
+
+	// Every Index call embeds one fingerprint probe on top of the corpus.
+	ix1 := r.Index(em, corpus)
+	if got := em.calls.Load(); got != 20+1 {
+		t.Fatalf("first build embedded %d texts, want 20 + 1 probe", got)
+	}
+	ix2 := r.Index(em, corpus)
+	if ix2 != ix1 {
+		t.Fatal("same corpus must return the same index")
+	}
+	if got := em.calls.Load(); got != 20+2 {
+		t.Fatalf("reuse re-embedded the corpus: %d calls, want only a probe added", got)
+	}
+	if builds, hits := r.Stats(); builds != 1 || hits != 1 {
+		t.Fatalf("stats = %d builds / %d hits, want 1/1", builds, hits)
+	}
+
+	// Different content — even one changed text — is a different corpus.
+	other := testItems(20, "a")
+	other[7].Text += " edited"
+	if ix3 := r.Index(em, other); ix3 == ix1 {
+		t.Fatal("changed corpus must not reuse the index")
+	}
+	if builds, _ := r.Stats(); builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+
+	// A different embedder configuration over the same corpus must not
+	// serve the first embedder's vectors, even at equal dimensionality.
+	em4 := &countingEmbedder{inner: NewNGramEmbedder(DefaultDim, 4)}
+	if ix4 := r.Index(em4, corpus); ix4 == ix1 {
+		t.Fatal("different embedder config must not reuse the index")
+	}
+	if builds, _ := r.Stats(); builds != 3 {
+		t.Fatalf("builds = %d, want 3 after foreign-embedder request", builds)
+	}
+}
+
+// TestRegistryConcurrentRequestsBuildOnce hammers one corpus from many
+// goroutines; exactly one build may happen and everyone must share it.
+func TestRegistryConcurrentRequestsBuildOnce(t *testing.T) {
+	em := &countingEmbedder{inner: Default()}
+	r := NewRegistry()
+	corpus := testItems(30, "c")
+
+	const workers = 16
+	results := make([]*Index, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = r.Index(em, corpus)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatal("concurrent requesters got different indexes")
+		}
+	}
+	if got := em.calls.Load(); got != 30+workers {
+		t.Fatalf("embedded %d texts, want one build of 30 plus %d probes", got, workers)
+	}
+	if builds, hits := r.Stats(); builds != 1 || hits != workers-1 {
+		t.Fatalf("stats = %d builds / %d hits", builds, hits)
+	}
+}
+
+func TestRegistryServedIndexAnswersQueries(t *testing.T) {
+	r := NewRegistry()
+	em := Default()
+	corpus := testItems(10, "q")
+	ix := r.Index(em, corpus)
+	nn := ix.Nearest(corpus[3].Text, 1)
+	if len(nn) != 1 || nn[0].ID != corpus[3].ID {
+		t.Fatalf("nearest = %+v, want the record itself", nn)
+	}
+}

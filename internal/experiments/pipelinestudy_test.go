@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/token"
+)
+
+func sumStageUsage(stages []pipeline.StageReport) token.Usage {
+	var u token.Usage
+	for _, s := range stages {
+		u = u.Add(s.Usage)
+	}
+	return u
+}
+
+// TestPipelineStudyPinned pins the acceptance contract of the pipeline
+// layer on the sim model: the optimized pipeline spends strictly fewer
+// upstream calls and tokens than naive sequential operator invocation,
+// produces identical results at temperature 0, and its per-stage usage
+// attribution sums exactly to the pipeline total.
+func TestPipelineStudyPinned(t *testing.T) {
+	res, err := PipelineStudy(ctx(), DefaultPipelineStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("optimized pipeline results differ from naive sequential results at temperature 0")
+	}
+	if res.Optimized.UpstreamCalls >= res.Naive.UpstreamCalls {
+		t.Fatalf("optimized calls = %d, want strictly fewer than naive %d",
+			res.Optimized.UpstreamCalls, res.Naive.UpstreamCalls)
+	}
+	if res.Optimized.UpstreamTokens >= res.Naive.UpstreamTokens {
+		t.Fatalf("optimized tokens = %d, want strictly fewer than naive %d",
+			res.Optimized.UpstreamTokens, res.Naive.UpstreamTokens)
+	}
+	if len(res.Rewrites) == 0 {
+		t.Fatal("optimizer applied no rewrites; the study spec must exercise filter pushdown")
+	}
+	// Attribution consistency, for both configurations: the per-stage sums
+	// equal the attribution total, and the total equals what the upstream
+	// counter actually saw at the model boundary.
+	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized} {
+		sum := sumStageUsage(run.Stages)
+		if sum != run.Usage {
+			t.Errorf("%s: stage usage sum %+v != attributed total %+v", run.Config, sum, run.Usage)
+		}
+		if run.Usage.Calls != run.UpstreamCalls {
+			t.Errorf("%s: attributed calls %d != upstream calls %d", run.Config, run.Usage.Calls, run.UpstreamCalls)
+		}
+		if run.Usage.Total() != run.UpstreamTokens {
+			t.Errorf("%s: attributed tokens %d != upstream tokens %d", run.Config, run.Usage.Total(), run.UpstreamTokens)
+		}
+	}
+	if res.CallReduction < 2 {
+		t.Errorf("call reduction = %.1fx, want at least 2x on the study workload", res.CallReduction)
+	}
+	out := FormatPipelineStudy(res)
+	for _, want := range []string{"rewrite:", "optimized pipeline", "identical results: true", "per-stage attribution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/token"
+	"repro/internal/workflow"
+)
+
+// ExecConfig parameterises one pipeline run.
+type ExecConfig struct {
+	// Model answers every unit task.
+	Model llm.Model
+	// Embedder overrides the k-NN embedder (default embed.Default()).
+	Embedder embed.Embedder
+	// Budget caps the whole pipeline; nil runs unlimited (with full
+	// accounting either way).
+	Budget *workflow.Budget
+	// Exec is the shared execution layer (cache + coalescer). Nil builds a
+	// fresh layer for the run; pass a persistent one to share across runs.
+	Exec *workflow.ExecLayer
+	// Registry is the shared embedding-index registry. Nil builds a fresh
+	// one for the run, which already spans every stage.
+	Registry *embed.Registry
+	// Batch packs up to this many unit tasks per envelope prompt (<= 1
+	// disables batching).
+	Batch int
+	// Parallelism bounds concurrent LLM calls per operator (default 8).
+	Parallelism int
+	// Isolated reproduces naive sequential operator invocation: a fresh
+	// engine per stage, each with the default private per-invocation
+	// cache and no shared layer, registry, or batching. The experiments
+	// use it as the baseline the optimized pipeline is measured against.
+	Isolated bool
+}
+
+// Env is the execution environment handed to each stage.
+type Env struct {
+	// Engine runs the stage's operator.
+	Engine *core.Engine
+	// Budget is the shared whole-pipeline budget.
+	Budget *workflow.Budget
+	// Tables holds the static side tables (plus "source").
+	Tables map[string][]dataset.Record
+
+	run *runState
+}
+
+// runState collects scalar outputs and details across stages.
+type runState struct {
+	mu      sync.Mutex
+	scalars map[string]string
+	details map[string]string
+}
+
+func (e *Env) setScalar(stage, value string) {
+	e.run.mu.Lock()
+	defer e.run.mu.Unlock()
+	e.run.scalars[stage] = value
+}
+
+func (e *Env) detail(stage, text string) {
+	e.run.mu.Lock()
+	defer e.run.mu.Unlock()
+	e.run.details[stage] = text
+}
+
+// StageReport is the per-stage accounting of one run.
+type StageReport struct {
+	// Name and Kind identify the stage.
+	Name, Kind string
+	// In and Out count the records entering and leaving the stage.
+	In, Out int
+	// Usage is the real upstream spend attributed to this stage; summed
+	// across stages it equals the pipeline total (cache hits, coalesced
+	// followers, and batch co-riders are free and attributed nowhere).
+	Usage token.Usage
+	// Cost prices Usage at the model's rate.
+	Cost float64
+	// Detail is the stage's operator-specific summary.
+	Detail string
+}
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	// Tables holds every stage's output table by stage name.
+	Tables map[string][]dataset.Record
+	// Scalars holds the scalar outputs of count/max stages by stage name.
+	Scalars map[string]string
+	// Stages reports per-stage accounting in pipeline order.
+	Stages []StageReport
+	// Usage and Cost total the run (equal to the sum over Stages).
+	Usage token.Usage
+	Cost  float64
+}
+
+// promise is one stage's eventually-available output table.
+type promise struct {
+	done  chan struct{}
+	table []dataset.Record
+	err   error
+}
+
+// Run executes the pipeline over the given tables (which must include
+// "source"). Stages whose inputs are ready run concurrently — independent
+// DAG branches overlap — and, unless Isolated, all of them stream their
+// unit tasks through one shared engine: one execution layer, one
+// embedding-index registry, one budget. Each stage's context is tagged
+// with its name, so the returned report attributes the shared budget's
+// spend stage by stage.
+func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]dataset.Record) (*Result, error) {
+	source, ok := tables["source"]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: tables lack %q", "source")
+	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = workflow.Unlimited()
+	}
+	attr := workflow.NewAttribution()
+	baseOpts := []core.Option{core.WithBudget(budget), core.WithAttribution(attr)}
+	if cfg.Parallelism > 0 {
+		baseOpts = append(baseOpts, core.WithParallelism(cfg.Parallelism))
+	}
+	if cfg.Embedder != nil {
+		baseOpts = append(baseOpts, core.WithEmbedder(cfg.Embedder))
+	}
+	engineFor := func() *core.Engine { return core.New(cfg.Model, baseOpts...) }
+	if !cfg.Isolated {
+		layer := cfg.Exec
+		if layer == nil {
+			layer = workflow.NewExecLayer()
+		}
+		registry := cfg.Registry
+		if registry == nil {
+			registry = embed.NewRegistry()
+		}
+		opts := append(append([]core.Option(nil), baseOpts...),
+			core.WithExecutionLayer(layer), core.WithIndexRegistry(registry))
+		if cfg.Batch > 1 {
+			opts = append(opts, core.WithBatching(cfg.Batch))
+		}
+		shared := core.New(cfg.Model, opts...)
+		engineFor = func() *core.Engine { return shared }
+	}
+
+	state := &runState{scalars: make(map[string]string), details: make(map[string]string)}
+	promises := make(map[string]*promise, len(p.stages)+1)
+	root := &promise{done: make(chan struct{}), table: source}
+	close(root.done)
+	promises["source"] = root
+	for _, st := range p.stages {
+		promises[st.Name()] = &promise{done: make(chan struct{})}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, st := range p.stages {
+		wg.Add(1)
+		go func(st Stage) {
+			defer wg.Done()
+			out := promises[st.Name()]
+			defer close(out.done)
+			in := promises[st.Input()]
+			select {
+			case <-in.done:
+			case <-ctx.Done():
+				out.err = ctx.Err()
+				return
+			}
+			if in.err != nil {
+				out.err = in.err // propagate the root cause, don't re-wrap per hop
+				return
+			}
+			if len(in.table) == 0 {
+				// An upstream filter emptied the table; downstream work is
+				// vacuous, not an error. A count over nothing still has an
+				// answer — 0 — and must report it regardless of where the
+				// optimizer placed the emptying filter.
+				state.mu.Lock()
+				if st.Kind() == KindCount {
+					state.scalars[st.Name()] = "0"
+					state.details[st.Name()] = "0 of 0 (empty input)"
+				} else {
+					state.details[st.Name()] = "skipped: empty input"
+				}
+				state.mu.Unlock()
+				return
+			}
+			env := &Env{Engine: engineFor(), Budget: budget, Tables: tables, run: state}
+			table, err := st.Run(workflow.TagStage(ctx, st.Name()), env, in.table)
+			if err != nil {
+				out.err = fmt.Errorf("stage %q: %w", st.Name(), err)
+				cancel()
+				return
+			}
+			out.table = table
+		}(st)
+	}
+	wg.Wait()
+
+	// Surface the root cause: a failing stage cancels the run, so sibling
+	// branches die with context errors that would otherwise mask the stage
+	// error the caller actually needs.
+	var cancelErr error
+	for _, st := range p.stages {
+		if err := promises[st.Name()].err; err != nil {
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			if cancelErr == nil {
+				cancelErr = err
+			}
+		}
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+
+	res := &Result{
+		Tables:  make(map[string][]dataset.Record, len(p.stages)),
+		Scalars: state.scalars,
+	}
+	for _, st := range p.stages {
+		pr := promises[st.Name()]
+		res.Tables[st.Name()] = pr.table
+		res.Stages = append(res.Stages, StageReport{
+			Name:   st.Name(),
+			Kind:   st.Kind(),
+			In:     len(promises[st.Input()].table),
+			Out:    len(pr.table),
+			Usage:  attr.Usage(st.Name()),
+			Cost:   attr.Cost(st.Name()),
+			Detail: state.details[st.Name()],
+		})
+	}
+	res.Usage, res.Cost = attr.Total()
+	return res, nil
+}
+
+// FormatResult renders a run report as a text table: one row per stage
+// with record flow and attributed spend, then scalars and the total.
+func FormatResult(res *Result) string {
+	out := fmt.Sprintf("%-14s %-11s %6s %6s %8s %8s %10s  %s\n",
+		"Stage", "Kind", "In", "Out", "Calls", "Tokens", "Cost", "Detail")
+	for _, s := range res.Stages {
+		out += fmt.Sprintf("%-14s %-11s %6d %6d %8d %8d %9.4f$  %s\n",
+			s.Name, s.Kind, s.In, s.Out, s.Usage.Calls, s.Usage.Total(), s.Cost, s.Detail)
+	}
+	for _, name := range sortedKeys(res.Scalars) {
+		out += fmt.Sprintf("scalar %-8s = %s\n", name, res.Scalars[name])
+	}
+	out += fmt.Sprintf("total: %d calls, %d tokens, $%.4f\n",
+		res.Usage.Calls, res.Usage.Total(), res.Cost)
+	return out
+}

@@ -1,0 +1,204 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Optimize rewrites the spec's logical plan without changing its
+// temperature-0 results: cheap per-record filters sift ahead of the
+// expensive stages they commute with (quadratic dedupe shrinks with the
+// square of the filter's selectivity; per-record stages shrink linearly),
+// and adjacent filters order most-selective-first. It returns the
+// rewritten spec and a human-readable log of the rewrites applied.
+//
+// A filter F crosses its producing stage S only when all of these hold:
+//
+//   - F is S's sole consumer (another consumer still needs S's unfiltered
+//     output);
+//   - S is per-record — each record's outcome is independent of which
+//     other records share the table (impute; direct categorize; rating
+//     sort; nested-loop join) and S does not write the field F reads — or
+//     S is an exact pairwise dedupe whose InvariantFields include F's
+//     field, so F keeps or drops every member of a duplicate group
+//     together;
+//   - crossing another filter additionally requires F to be strictly more
+//     selective, which orders filter runs and terminates the rewrite.
+func Optimize(spec Spec) (Spec, []string, error) {
+	specs, err := normalize(spec.Stages)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	var log []string
+	for changed := true; changed; {
+		changed = false
+		for i := range specs {
+			f := specs[i]
+			if f.Kind != KindFilter || f.Input == "source" {
+				continue
+			}
+			j := indexOf(specs, f.Input)
+			s := specs[j]
+			if len(consumers(specs, s.Name)) != 1 || !commutesWithFilter(f, s) {
+				continue
+			}
+			// Swap the edge: F consumes S's old input, S consumes F, and
+			// F's consumers move to S (whose output now equals F's old
+			// output by the commutation rule).
+			for k := range specs {
+				if specs[k].Input == f.Name {
+					specs[k].Input = s.Name
+				}
+			}
+			specs[i].Input = s.Input
+			specs[j].Input = f.Name
+			specs = reorderTopo(specs)
+			log = append(log, fmt.Sprintf("pushed filter %q ahead of %s %q", f.Name, s.Kind, s.Name))
+			changed = true
+			break
+		}
+	}
+	out := spec
+	out.Stages = specs
+	return out, log, nil
+}
+
+func indexOf(specs []StageSpec, name string) int {
+	for i := range specs {
+		if specs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// selectivity returns the filter's estimated keep fraction (default 0.5).
+func selectivity(s StageSpec) float64 {
+	if s.Selectivity > 0 {
+		return s.Selectivity
+	}
+	return 0.5
+}
+
+// writes lists the record fields a stage adds or rewrites.
+func writes(s StageSpec) []string {
+	switch s.Kind {
+	case KindCategorize:
+		if s.OutField != "" {
+			return []string{s.OutField}
+		}
+		return []string{"category"}
+	case KindImpute:
+		return []string{s.TargetField}
+	case KindJoin:
+		if s.OutField != "" {
+			return []string{s.OutField}
+		}
+		return []string{"match"}
+	}
+	return nil
+}
+
+// perRecord reports whether each record's outcome under the stage is
+// independent of which other records share the input table — the property
+// that makes dropping records before the stage equivalent to dropping
+// them after.
+func perRecord(s StageSpec) bool {
+	switch s.Kind {
+	case KindFilter:
+		// Every filter policy decides per item.
+		return true
+	case KindImpute:
+		// A fixed strategy answers per query from the (static) training
+		// side table. Strategy "auto" is NOT per-record: the planner's
+		// projected costs scale with the query-table size, so shrinking
+		// the table can move a pricier strategy inside a finite budget
+		// and change which strategy imputes.
+		return s.Strategy != "auto"
+	case KindCategorize:
+		return s.Strategy != string(core.CategorizeTwoPhase)
+	case KindSort:
+		// Ratings are per-item; every other sort strategy sees the whole
+		// list (one-prompt) or compares across it (pairwise Copeland
+		// counts), so membership changes its output.
+		return s.Strategy == string(core.SortRating)
+	case KindJoin:
+		// Nested-loop matches each left record independently; the
+		// transitive strategy reuses closure across left records.
+		return s.Strategy == string(core.JoinNestedLoop)
+	}
+	// Resolve merges across records; count and max aggregate the table.
+	return false
+}
+
+// commutesWithFilter reports whether filter f over stage s can swap with
+// it — filter(s(X)) == s(filter(X)) at temperature 0.
+func commutesWithFilter(f, s StageSpec) bool {
+	reads := f.Field // "" reads the whole record
+	switch s.Kind {
+	case KindFilter:
+		return selectivity(f) < selectivity(s)
+	case KindResolve:
+		// Dedupe drops records, so the crossing leans on the declared
+		// invariant: duplicates agree exactly on the filtered field, hence
+		// groups survive or vanish whole. Sound only for the exact
+		// pairwise strategy — blocking and coarse grouping change their
+		// candidate structure with table membership.
+		if s.Strategy != "" && s.Strategy != string(core.DedupePairwise) {
+			return false
+		}
+		if reads == "" {
+			return false
+		}
+		for _, inv := range s.InvariantFields {
+			if inv == reads {
+				return true
+			}
+		}
+		return false
+	default:
+		if !perRecord(s) {
+			return false
+		}
+		w := writes(s)
+		if reads == "" {
+			return len(w) == 0
+		}
+		for _, field := range w {
+			if field == reads {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// reorderTopo restores the inputs-before-consumers invariant after an
+// edge swap, keeping the original relative order where dependencies
+// allow (stable Kahn by current position).
+func reorderTopo(specs []StageSpec) []StageSpec {
+	placed := map[string]bool{"source": true}
+	out := make([]StageSpec, 0, len(specs))
+	remaining := append([]StageSpec(nil), specs...)
+	for len(remaining) > 0 {
+		progressed := false
+		rest := remaining[:0]
+		for _, s := range remaining {
+			if placed[s.Input] {
+				out = append(out, s)
+				placed[s.Name] = true
+				progressed = true
+			} else {
+				rest = append(rest, s)
+			}
+		}
+		remaining = rest
+		if !progressed {
+			// A cycle cannot arise from pairwise swaps of a valid DAG;
+			// keep the leftovers in place rather than looping forever.
+			return append(out, remaining...)
+		}
+	}
+	return out
+}

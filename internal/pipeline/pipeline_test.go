@@ -1,0 +1,367 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/token"
+	"repro/internal/workflow"
+)
+
+func flavorTables(n int) map[string][]dataset.Record {
+	t, _ := SourceSpec{Dataset: "flavors", Records: n}.Tables()
+	return t
+}
+
+func TestCompileValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		stages []StageSpec
+		want   string
+	}{
+		{"empty", nil, "no stages"},
+		{"unnamed", []StageSpec{{Kind: KindFilter, Predicate: "p"}}, "needs a name"},
+		{"reserved", []StageSpec{{Name: "source", Kind: KindFilter, Predicate: "p"}}, "needs a name"},
+		{"dup names", []StageSpec{
+			{Name: "a", Kind: KindFilter, Predicate: "p"},
+			{Name: "a", Kind: KindFilter, Predicate: "p"},
+		}, "duplicate stage name"},
+		{"forward input", []StageSpec{
+			{Name: "a", Kind: KindFilter, Predicate: "p", Input: "b"},
+			{Name: "b", Kind: KindFilter, Predicate: "p", Input: "source"},
+		}, "not source or an earlier stage"},
+		{"unknown kind", []StageSpec{{Name: "a", Kind: "mapreduce"}}, "unknown kind"},
+		{"filter needs predicate", []StageSpec{{Name: "a", Kind: KindFilter}}, "needs a predicate"},
+		{"sort needs criterion", []StageSpec{{Name: "a", Kind: KindSort}}, "needs a criterion"},
+		{"impute needs target", []StageSpec{{Name: "a", Kind: KindImpute}}, "needs a target_field"},
+		{"join needs side", []StageSpec{{Name: "a", Kind: KindJoin}}, "needs a side table"},
+		{"categorize needs categories", []StageSpec{{Name: "a", Kind: KindCategorize}}, "needs categories"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(Spec{Stages: tc.stages})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Spec{Stages: []StageSpec{
+		{Name: "a", Kind: KindFilter, Predicate: "p"},
+		{Name: "b", Kind: KindCount, Predicate: "q"}, // input defaults to "a"
+	}}
+	p, err := Compile(ok)
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if got := p.Stages()[1].Input(); got != "a" {
+		t.Fatalf("default input = %q, want previous stage", got)
+	}
+}
+
+func optimizeOrder(t *testing.T, stages []StageSpec) ([]string, []string) {
+	t.Helper()
+	out, log, err := Optimize(Spec{Stages: stages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(out); err != nil {
+		t.Fatalf("optimized spec does not compile: %v", err)
+	}
+	names := make([]string, len(out.Stages))
+	for i, s := range out.Stages {
+		names[i] = s.Name
+	}
+	return names, log
+}
+
+func TestOptimizeFilterPushdownRules(t *testing.T) {
+	filter := func(field string) StageSpec {
+		return StageSpec{Name: "f", Kind: KindFilter, Field: field, Predicate: "p"}
+	}
+	cases := []struct {
+		name   string
+		first  StageSpec
+		filter StageSpec
+		pushed bool
+	}{
+		{"pairwise dedupe, invariant field",
+			StageSpec{Name: "s", Kind: KindResolve, InvariantFields: []string{"type"}}, filter("type"), true},
+		{"pairwise dedupe, non-invariant field",
+			StageSpec{Name: "s", Kind: KindResolve, InvariantFields: []string{"type"}}, filter("name"), false},
+		{"blocked dedupe never",
+			StageSpec{Name: "s", Kind: KindResolve, Strategy: "blocked-pairwise", InvariantFields: []string{"type"}}, filter("type"), false},
+		{"dedupe, whole-record filter",
+			StageSpec{Name: "s", Kind: KindResolve, InvariantFields: []string{"type"}}, filter(""), false},
+		{"impute other field",
+			StageSpec{Name: "s", Kind: KindImpute, TargetField: "city"}, filter("type"), true},
+		{"impute filtered field",
+			StageSpec{Name: "s", Kind: KindImpute, TargetField: "city"}, filter("city"), false},
+		{"auto impute never (planner costs scale with table size)",
+			StageSpec{Name: "s", Kind: KindImpute, TargetField: "city", Strategy: "auto"}, filter("type"), false},
+		{"impute, whole-record filter",
+			StageSpec{Name: "s", Kind: KindImpute, TargetField: "city"}, filter(""), false},
+		{"categorize other field",
+			StageSpec{Name: "s", Kind: KindCategorize, Categories: []string{"a"}, OutField: "cat"}, filter("name"), true},
+		{"categorize written field",
+			StageSpec{Name: "s", Kind: KindCategorize, Categories: []string{"a"}, OutField: "cat"}, filter("cat"), false},
+		{"two-phase categorize never",
+			StageSpec{Name: "s", Kind: KindCategorize, Strategy: "two-phase"}, filter("name"), false},
+		{"rating sort",
+			StageSpec{Name: "s", Kind: KindSort, Criterion: "c", Strategy: "rating"}, filter("name"), true},
+		{"rating sort, whole-record filter",
+			StageSpec{Name: "s", Kind: KindSort, Criterion: "c", Strategy: "rating"}, filter(""), true},
+		{"one-prompt sort never",
+			StageSpec{Name: "s", Kind: KindSort, Criterion: "c"}, filter("name"), false},
+		{"nested-loop join",
+			StageSpec{Name: "s", Kind: KindJoin, Side: "right", Strategy: "nested-loop"}, filter("name"), true},
+		{"transitive join never",
+			StageSpec{Name: "s", Kind: KindJoin, Side: "right"}, filter("name"), false},
+		{"count never",
+			StageSpec{Name: "s", Kind: KindCount, Predicate: "q"}, filter("name"), false},
+	}
+	for _, tc := range cases {
+		names, log := optimizeOrder(t, []StageSpec{tc.first, tc.filter})
+		pushed := names[0] == "f"
+		if pushed != tc.pushed {
+			t.Errorf("%s: order %v (log %v), want pushed=%v", tc.name, names, log, tc.pushed)
+		}
+	}
+}
+
+func TestOptimizeFilterOrderBySelectivity(t *testing.T) {
+	names, _ := optimizeOrder(t, []StageSpec{
+		{Name: "loose", Kind: KindFilter, Field: "a", Predicate: "p", Selectivity: 0.9},
+		{Name: "tight", Kind: KindFilter, Field: "a", Predicate: "q", Selectivity: 0.1},
+	})
+	if names[0] != "tight" || names[1] != "loose" {
+		t.Fatalf("order = %v, want most selective filter first", names)
+	}
+	// Equal selectivity must not swap (and must terminate).
+	names, log := optimizeOrder(t, []StageSpec{
+		{Name: "a", Kind: KindFilter, Field: "a", Predicate: "p"},
+		{Name: "b", Kind: KindFilter, Field: "a", Predicate: "q"},
+	})
+	if names[0] != "a" || len(log) != 0 {
+		t.Fatalf("equal selectivity reordered: %v (%v)", names, log)
+	}
+}
+
+func TestOptimizeRespectsOtherConsumers(t *testing.T) {
+	// The impute output feeds both the filter and a count; pushing the
+	// filter above impute would hand the count a filtered table.
+	names, log := optimizeOrder(t, []StageSpec{
+		{Name: "s", Kind: KindImpute, TargetField: "city", Input: "source"},
+		{Name: "f", Kind: KindFilter, Field: "type", Predicate: "p", Input: "s"},
+		{Name: "c", Kind: KindCount, Predicate: "q", Input: "s"},
+	})
+	if names[0] != "s" || len(log) != 0 {
+		t.Fatalf("filter crossed a multi-consumer stage: %v (%v)", names, log)
+	}
+}
+
+func TestOptimizeChainsThroughMultipleStages(t *testing.T) {
+	// filter starts last and must sift past both per-record stages to the
+	// front.
+	names, log := optimizeOrder(t, []StageSpec{
+		{Name: "cat", Kind: KindCategorize, Categories: []string{"x"}, OutField: "cat", Input: "source"},
+		{Name: "imp", Kind: KindImpute, TargetField: "city"},
+		{Name: "f", Kind: KindFilter, Field: "name", Predicate: "p"},
+	})
+	want := []string{"f", "cat", "imp"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v (log %v), want %v", names, log, want)
+		}
+	}
+	if len(log) != 2 {
+		t.Fatalf("rewrite log = %v, want two pushes", log)
+	}
+}
+
+func TestPipelineRunFilterSort(t *testing.T) {
+	spec := Spec{Stages: []StageSpec{
+		{Name: "choc", Kind: KindFilter, Field: "name", Predicate: "it is a chocolatey flavor"},
+		{Name: "rank", Kind: KindSort, Field: "name", Criterion: "how chocolatey they are", Strategy: "rating"},
+	}}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := workflow.Unlimited()
+	res, err := p.Run(context.Background(), ExecConfig{
+		Model:  sim.NewNamed("sim-gpt-3.5-turbo"),
+		Budget: budget,
+	}, flavorTables(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables["choc"]) == 0 || len(res.Tables["rank"]) != len(res.Tables["choc"]) {
+		t.Fatalf("tables: choc %d, rank %d", len(res.Tables["choc"]), len(res.Tables["rank"]))
+	}
+	// Per-stage attribution sums to the run total, and the run total is
+	// exactly what the shared budget recorded.
+	var sum token.Usage
+	for _, s := range res.Stages {
+		sum = sum.Add(s.Usage)
+	}
+	if sum != res.Usage {
+		t.Fatalf("stage sum %+v != total %+v", sum, res.Usage)
+	}
+	spent, dollars := budget.Spent()
+	if spent != res.Usage {
+		t.Fatalf("budget spent %+v != attributed %+v", spent, res.Usage)
+	}
+	// Same per-call charges, different accumulation order: compare dollars
+	// within float tolerance.
+	if diff := dollars - res.Cost; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("budget dollars %g != attributed cost %g", dollars, res.Cost)
+	}
+	out := FormatResult(res)
+	if !strings.Contains(out, "rank") || !strings.Contains(out, "total:") {
+		t.Fatalf("report missing fields:\n%s", out)
+	}
+}
+
+// TestPipelineRunsBranchesConcurrently proves independent DAG branches
+// overlap: with a one-record source, each branch issues exactly one
+// upstream call, and the model releases them only when both are in flight.
+// A sequential executor would park the first branch's call until timeout.
+func TestPipelineRunsBranchesConcurrently(t *testing.T) {
+	var arrivals atomic.Int32
+	release := make(chan struct{})
+	model := llm.Func{ModelName: "barrier", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		if arrivals.Add(1) == 2 {
+			close(release)
+		}
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+			t.Error("branches did not run concurrently")
+		case <-ctx.Done():
+			return llm.Response{}, ctx.Err()
+		}
+		return llm.Response{Text: "Yes", Model: "barrier", Usage: token.Usage{PromptTokens: 1, CompletionTokens: 1, Calls: 1}}, nil
+	}}
+	spec := Spec{Stages: []StageSpec{
+		{Name: "left", Kind: KindFilter, Field: "name", Predicate: "p", Input: "source"},
+		{Name: "right", Kind: KindFilter, Field: "name", Predicate: "q", Input: "source"},
+	}}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), ExecConfig{Model: model}, flavorTables(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables["left"]) != 1 || len(res.Tables["right"]) != 1 {
+		t.Fatalf("both branches should keep the record: %+v", res.Tables)
+	}
+}
+
+func TestPipelineEmptyTableSkipsDownstream(t *testing.T) {
+	model := llm.Func{ModelName: "no", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		return llm.Response{Text: "No", Model: "no", Usage: token.Usage{Calls: 1}}, nil
+	}}
+	spec := Spec{Stages: []StageSpec{
+		{Name: "drop", Kind: KindFilter, Field: "name", Predicate: "p"},
+		{Name: "rank", Kind: KindSort, Field: "name", Criterion: "c", Strategy: "rating"},
+		{Name: "n", Kind: KindCount, Predicate: "q"},
+	}}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), ExecConfig{Model: model}, flavorTables(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables["drop"]) != 0 || len(res.Tables["rank"]) != 0 {
+		t.Fatalf("tables = %+v, want empty", res.Tables)
+	}
+	if d := res.Stages[1].Detail; !strings.Contains(d, "skipped") {
+		t.Fatalf("downstream stage detail = %q, want skipped marker", d)
+	}
+	// A count over the empty table still answers: 0. Whether the scalar
+	// exists must not depend on where the optimizer put the filter.
+	if got := res.Scalars["n"]; got != "0" {
+		t.Fatalf("count scalar = %q, want \"0\" on empty input", got)
+	}
+}
+
+// TestPipelineSurfacesRootCauseError: when one branch fails and cancels
+// the run, the sibling branch's context-cancellation error must not mask
+// the failing stage's real error.
+func TestPipelineSurfacesRootCauseError(t *testing.T) {
+	started := make(chan struct{})
+	model := llm.Func{ModelName: "m", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		if strings.Contains(req.Prompt, "boom") {
+			<-started // fail only after the slow branch is in flight
+			return llm.Response{}, fmt.Errorf("upstream exploded")
+		}
+		close(started)
+		<-ctx.Done() // the slow branch dies of the cancellation
+		return llm.Response{}, ctx.Err()
+	}}
+	spec := Spec{Stages: []StageSpec{
+		{Name: "slow", Kind: KindFilter, Field: "name", Predicate: "p", Input: "source"},
+		{Name: "bad", Kind: KindFilter, Field: "name", Predicate: "boom", Input: "source"},
+	}}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(context.Background(), ExecConfig{Model: model}, flavorTables(1))
+	if err == nil || !strings.Contains(err.Error(), "upstream exploded") || !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("err = %v, want the failing stage's root cause", err)
+	}
+}
+
+func TestImputeAutoInvokesPlanner(t *testing.T) {
+	ds, _ := SourceSpec{Dataset: "restaurants", Records: 4, Train: 24, Seed: 5}.Tables()
+	// Mask the target so the imputation is real.
+	for i, r := range ds["source"] {
+		ds["source"][i] = r.WithoutField("city")
+	}
+	spec := Spec{Stages: []StageSpec{
+		{Name: "city", Kind: KindImpute, TargetField: "city", Strategy: "auto", Neighbors: 3},
+	}}
+	p, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), ExecConfig{Model: sim.NewNamed("sim-claude")}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stages[0].Detail, "planner chose") {
+		t.Fatalf("detail = %q, want planner note", res.Stages[0].Detail)
+	}
+	for _, r := range res.Tables["city"] {
+		if v, ok := r.Get("city"); !ok || v == "" {
+			t.Fatalf("record %s not imputed", r.ID)
+		}
+	}
+}
+
+func TestSourceSpecTables(t *testing.T) {
+	if _, err := (SourceSpec{Dataset: "nope"}).Tables(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	ts, err := SourceSpec{Dataset: "restaurants", Records: 6, Train: 12}.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts["source"]) != 6 || len(ts["train"]) != 12 {
+		t.Fatalf("tables sized %d/%d", len(ts["source"]), len(ts["train"]))
+	}
+	fl := flavorTables(5)
+	if len(fl["source"]) != 5 {
+		t.Fatalf("flavors sized %d", len(fl["source"]))
+	}
+}

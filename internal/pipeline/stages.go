@@ -1,0 +1,360 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Stage is one operator node of a compiled pipeline: a thin typed wrapper
+// that renders records into the operator's item shape, invokes the engine,
+// and folds the result back into a record table.
+type Stage interface {
+	// Name is the stage's unique identifier from the spec.
+	Name() string
+	// Kind is the wrapped operator.
+	Kind() string
+	// Input names the upstream stage ("source" for the root table).
+	Input() string
+	// Run executes the operator over the input table within env and
+	// returns the stage's output table.
+	Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error)
+}
+
+// baseStage carries the shared identity fields.
+type baseStage struct{ spec StageSpec }
+
+func (b baseStage) Name() string  { return b.spec.Name }
+func (b baseStage) Kind() string  { return b.spec.Kind }
+func (b baseStage) Input() string { return b.spec.Input }
+
+// buildStage constructs the concrete stage for a validated spec.
+func buildStage(s StageSpec) (Stage, error) {
+	base := baseStage{spec: s}
+	switch s.Kind {
+	case KindFilter:
+		return filterStage{base}, nil
+	case KindCategorize:
+		return categorizeStage{base}, nil
+	case KindResolve:
+		return resolveStage{base}, nil
+	case KindImpute:
+		return imputeStage{base}, nil
+	case KindJoin:
+		return joinStage{base}, nil
+	case KindSort:
+		return sortStage{base}, nil
+	case KindMax:
+		return maxStage{base}, nil
+	case KindCount:
+		return countStage{base}, nil
+	}
+	return nil, fmt.Errorf("pipeline: unknown kind %q", s.Kind)
+}
+
+// render turns a record into the operator's item text: a single field's
+// value, or the full serialized record when no field is selected.
+func render(r dataset.Record, field string) string {
+	if field == "" {
+		return r.String()
+	}
+	v, _ := r.Get(field)
+	return v
+}
+
+func renderAll(in []dataset.Record, field string) []string {
+	out := make([]string, len(in))
+	for i, r := range in {
+		out[i] = render(r, field)
+	}
+	return out
+}
+
+func entities(in []dataset.Record, field string) []core.Entity {
+	out := make([]core.Entity, len(in))
+	for i, r := range in {
+		out[i] = core.Entity{ID: r.ID, Text: render(r, field)}
+	}
+	return out
+}
+
+type filterStage struct{ baseStage }
+
+func (s filterStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	res, err := env.Engine.Filter(ctx, core.FilterRequest{
+		Items:     renderAll(in, s.spec.Field),
+		Predicate: s.spec.Predicate,
+		Strategy:  core.FilterStrategy(s.spec.Strategy),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []dataset.Record
+	for i, keep := range res.Keep {
+		if keep {
+			out = append(out, in[i])
+		}
+	}
+	env.detail(s.Name(), fmt.Sprintf("kept %d/%d (%d asks)", len(out), len(in), res.Asks))
+	return out, nil
+}
+
+type categorizeStage struct{ baseStage }
+
+func (s categorizeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	res, err := env.Engine.Categorize(ctx, core.CategorizeRequest{
+		Items:      renderAll(in, s.spec.Field),
+		Categories: s.spec.Categories,
+		Strategy:   core.CategorizeStrategy(s.spec.Strategy),
+	})
+	if err != nil {
+		return nil, err
+	}
+	field := s.spec.OutField
+	if field == "" {
+		field = "category"
+	}
+	out := make([]dataset.Record, len(in))
+	for i, r := range in {
+		out[i] = r.Clone()
+		out[i].Set(field, res.Assignments[i])
+	}
+	env.detail(s.Name(), fmt.Sprintf("%d categories", len(res.Categories)))
+	return out, nil
+}
+
+// resolveStage deduplicates the table: records the engine judges to refer
+// to one entity collapse to a single representative — deterministically
+// the member with the lexicographically smallest ID — preserving input
+// order.
+type resolveStage struct{ baseStage }
+
+func (s resolveStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	seen := make(map[string]bool, len(in))
+	for _, r := range in {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("stage %q: duplicate record ID %q", s.Name(), r.ID)
+		}
+		seen[r.ID] = true
+	}
+	res, err := env.Engine.Dedupe(ctx, core.DedupeRequest{
+		Records:       entities(in, s.spec.Field),
+		Strategy:      core.DedupeStrategy(s.spec.Strategy),
+		BlockDistance: s.spec.BlockDistance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool, len(res.Groups))
+	for _, g := range res.Groups {
+		rep := g[0]
+		for _, id := range g[1:] {
+			if id < rep {
+				rep = id
+			}
+		}
+		keep[rep] = true
+	}
+	var out []dataset.Record
+	for _, r := range in {
+		if keep[r.ID] {
+			out = append(out, r)
+		}
+	}
+	env.detail(s.Name(), fmt.Sprintf("%d records -> %d entities (%d comparisons)", len(in), len(out), res.LLMComparisons))
+	return out, nil
+}
+
+type imputeStage struct{ baseStage }
+
+func (s imputeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	side := s.spec.Side
+	if side == "" {
+		side = "train"
+	}
+	train := env.Tables[side]
+	if len(train) == 0 {
+		return nil, fmt.Errorf("stage %q: side table %q is empty or missing", s.Name(), side)
+	}
+	strategy := s.spec.Strategy
+	note := ""
+	if strategy == "auto" {
+		// Per-stage planning under the whole-pipeline budget: profile the
+		// impute strategies on held-out training records and pick under
+		// whatever dollar headroom the shared budget still has. An
+		// exhausted cap must stay a cap — PlanStrategies reads
+		// maxDollars <= 0 as unlimited, so clamp to the smallest positive
+		// budget instead: only free strategies fit, everything else falls
+		// through to the cheapest-overall rule.
+		maxDollars := 0.0
+		if rem, capped := env.Budget.RemainingDollars(); capped {
+			maxDollars = rem
+			if maxDollars <= 0 {
+				maxDollars = math.SmallestNonzeroFloat64
+			}
+		}
+		holdout := len(train) / 4
+		if holdout < 1 {
+			holdout = 1
+		}
+		if holdout >= len(train) {
+			return nil, fmt.Errorf("stage %q: %d training records are too few to plan over", s.Name(), len(train))
+		}
+		target := s.spec.TargetAccuracy
+		if target == 0 {
+			target = 0.8
+		}
+		plan, err := env.Engine.PlanImpute(ctx, train, s.spec.TargetField,
+			[]core.ImputeStrategy{core.ImputeKNN, core.ImputeLLM, core.ImputeHybrid},
+			holdout, s.spec.Examples, target, maxDollars, len(in))
+		if err != nil {
+			return nil, fmt.Errorf("stage %q: planning: %w", s.Name(), err)
+		}
+		strategy = plan.Chosen
+		note = fmt.Sprintf("; planner chose %q (%s)", plan.Chosen, plan.Reason)
+	}
+	res, err := env.Engine.Impute(ctx, core.ImputeRequest{
+		Train:       train,
+		Queries:     in,
+		TargetField: s.spec.TargetField,
+		Strategy:    core.ImputeStrategy(strategy),
+		Neighbors:   s.spec.Neighbors,
+		Examples:    s.spec.Examples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dataset.Record, len(in))
+	for i, r := range in {
+		out[i] = r.Clone()
+		out[i].Set(s.spec.TargetField, res.Values[i])
+	}
+	env.detail(s.Name(), fmt.Sprintf("%d by LLM, %d by k-NN%s", res.LLMCalls, res.KNNDecided, note))
+	return out, nil
+}
+
+// joinStage fuzzy-joins the input table (left) against a static side
+// table (right): the output holds one record per matched pair — the left
+// record annotated with the matching right ID.
+type joinStage struct{ baseStage }
+
+func (s joinStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	side := env.Tables[s.spec.Side]
+	if len(side) == 0 {
+		return nil, fmt.Errorf("stage %q: side table %q is empty or missing", s.Name(), s.spec.Side)
+	}
+	res, err := env.Engine.Join(ctx, core.JoinRequest{
+		Left:              entities(in, s.spec.Field),
+		Right:             entities(side, s.spec.Field),
+		Strategy:          core.JoinStrategy(s.spec.Strategy),
+		CandidateDistance: s.spec.BlockDistance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]dataset.Record, len(in))
+	for _, r := range in {
+		byID[r.ID] = r
+	}
+	field := s.spec.OutField
+	if field == "" {
+		field = "match"
+	}
+	out := make([]dataset.Record, 0, len(res.Matches))
+	for _, m := range res.Matches {
+		r := byID[m.LeftID].Clone()
+		r.Set(field, m.RightID)
+		out = append(out, r)
+	}
+	env.detail(s.Name(), fmt.Sprintf("%d matches (%d comparisons, %d skipped by closure, %d by distance)",
+		len(res.Matches), res.LLMComparisons, res.SkippedByTransitivity, res.SkippedByDistance))
+	return out, nil
+}
+
+type sortStage struct{ baseStage }
+
+func (s sortStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	byText := make(map[string]int, len(in))
+	items := renderAll(in, s.spec.Field)
+	for i, it := range items {
+		if _, dup := byText[it]; dup {
+			return nil, fmt.Errorf("stage %q: records %q and %q render identically; sort needs distinct items",
+				s.Name(), in[byText[it]].ID, in[i].ID)
+		}
+		byText[it] = i
+	}
+	res, err := env.Engine.Sort(ctx, core.SortRequest{
+		Items:     items,
+		Criterion: s.spec.Criterion,
+		Strategy:  core.SortStrategy(s.spec.Strategy),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dataset.Record, 0, len(in))
+	placed := make([]bool, len(in))
+	for _, it := range res.Ranked {
+		i := byText[it]
+		out = append(out, in[i])
+		placed[i] = true
+	}
+	// Items a coarse strategy omitted keep their input order at the tail.
+	for i, r := range in {
+		if !placed[i] {
+			out = append(out, r)
+		}
+	}
+	env.detail(s.Name(), fmt.Sprintf("ranked %d (missing %d, hallucinated %d)", len(res.Ranked), res.Missing, res.Hallucinated))
+	return out, nil
+}
+
+// maxStage passes the table through and records the winning item as the
+// stage's scalar output.
+type maxStage struct{ baseStage }
+
+func (s maxStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	res, err := env.Engine.Max(ctx, core.MaxRequest{
+		Items:     renderAll(in, s.spec.Field),
+		Criterion: s.spec.Criterion,
+		Strategy:  core.MaxStrategy(s.spec.Strategy),
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.setScalar(s.Name(), res.Item)
+	env.detail(s.Name(), fmt.Sprintf("%d finalists", len(res.Finalists)))
+	return in, nil
+}
+
+// countStage passes the table through and records the estimated count as
+// the stage's scalar output.
+type countStage struct{ baseStage }
+
+func (s countStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	res, err := env.Engine.Count(ctx, core.CountRequest{
+		Items:     renderAll(in, s.spec.Field),
+		Predicate: s.spec.Predicate,
+		Strategy:  core.CountStrategy(s.spec.Strategy),
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.setScalar(s.Name(), strconv.Itoa(res.Count))
+	env.detail(s.Name(), fmt.Sprintf("%d of %d (%.0f%%)", res.Count, len(in), res.Fraction*100))
+	return in, nil
+}
+
+// sortedKeys returns map keys in sorted order (deterministic reports).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package workflow
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+// stageTagKey is the context key carrying the current pipeline stage label.
+type stageTagKey struct{}
+
+// TagStage returns a context whose LLM calls are attributed to the given
+// stage label. The pipeline executor tags each stage's context before
+// running its operator; every wrapper below the engine's cache then sees
+// the label via StageTag.
+func TagStage(ctx context.Context, stage string) context.Context {
+	return context.WithValue(ctx, stageTagKey{}, stage)
+}
+
+// StageTag returns the stage label attached to ctx, or "" when the call is
+// untagged (an operator invoked outside a pipeline).
+func StageTag(ctx context.Context) string {
+	s, _ := ctx.Value(stageTagKey{}).(string)
+	return s
+}
+
+// Attribution accumulates real upstream usage and dollar cost per stage
+// label, so one shared budget can be broken down into "which pipeline
+// stage spent what". Only genuine upstream calls register: cache hits,
+// coalesced followers, and split batch sections all carry zero usage and
+// therefore add nothing. Safe for concurrent use.
+type Attribution struct {
+	mu    sync.Mutex
+	usage map[string]token.Usage
+	cost  map[string]float64
+}
+
+// NewAttribution returns an empty attribution ledger.
+func NewAttribution() *Attribution {
+	return &Attribution{usage: make(map[string]token.Usage), cost: make(map[string]float64)}
+}
+
+// Record adds usage under the stage label, priced at the model's rate.
+func (a *Attribution) Record(stage, model string, u token.Usage) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.usage[stage] = a.usage[stage].Add(u)
+	a.cost[stage] += token.PriceFor(model).Cost(u)
+}
+
+// Usage returns the usage recorded under one stage label.
+func (a *Attribution) Usage(stage string) token.Usage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usage[stage]
+}
+
+// Cost returns the dollars recorded under one stage label.
+func (a *Attribution) Cost(stage string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cost[stage]
+}
+
+// Stages returns the labels seen so far, sorted.
+func (a *Attribution) Stages() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.usage))
+	for s := range a.usage {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns usage and cost summed across every stage. When every call
+// of a workflow runs under a tagged context, this equals the budget's
+// recorded spend — the invariant the pipeline experiments pin.
+func (a *Attribution) Total() (token.Usage, float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var u token.Usage
+	var c float64
+	for _, v := range a.usage {
+		u = u.Add(v)
+	}
+	for _, v := range a.cost {
+		c += v
+	}
+	return u, c
+}
+
+// AttributingModel wraps a model so every upstream call's usage is
+// recorded in an Attribution under the context's stage tag. It sits below
+// the batcher and the cache (the engine's session wires it there), so it
+// observes exactly the calls a vendor would bill: one record per envelope,
+// none for cache hits.
+type AttributingModel struct {
+	inner llm.Model
+	attr  *Attribution
+}
+
+// NewAttributing wraps m, recording into a.
+func NewAttributing(m llm.Model, a *Attribution) *AttributingModel {
+	return &AttributingModel{inner: m, attr: a}
+}
+
+// Name implements llm.Model.
+func (m *AttributingModel) Name() string { return m.inner.Name() }
+
+// Complete implements llm.Model. Usage is recorded even when the call
+// returns an error alongside a response (the budget-exhaustion path
+// charges such calls too, and attribution must stay in lockstep with the
+// budget).
+func (m *AttributingModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := m.inner.Complete(ctx, req)
+	if !resp.Usage.IsZero() {
+		m.attr.Record(StageTag(ctx), m.inner.Name(), resp.Usage)
+	}
+	return resp, err
+}

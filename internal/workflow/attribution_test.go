@@ -1,0 +1,92 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+func TestStageTagRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := StageTag(ctx); got != "" {
+		t.Fatalf("untagged ctx = %q", got)
+	}
+	if got := StageTag(TagStage(ctx, "filter-1")); got != "filter-1" {
+		t.Fatalf("tag = %q", got)
+	}
+}
+
+// TestAttributionSplitsByStageAndSumsToTotal drives one wrapped model from
+// two tagged contexts plus an untagged one and checks the per-stage split,
+// the total, and that the split agrees with an independent counter.
+func TestAttributionSplitsByStageAndSumsToTotal(t *testing.T) {
+	var calls atomic.Int64
+	attr := NewAttribution()
+	counting := llm.NewCounting(echoModel("m", &calls))
+	m := NewAttributing(counting, attr)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := m.Complete(TagStage(ctx, "a"), llm.Request{Prompt: fmt.Sprintf("a%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Complete(TagStage(ctx, "b"), llm.Request{Prompt: "b0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Complete(ctx, llm.Request{Prompt: "untagged"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if u := attr.Usage("a"); u.Calls != 3 {
+		t.Fatalf("stage a usage = %+v", u)
+	}
+	if u := attr.Usage("b"); u.Calls != 1 {
+		t.Fatalf("stage b usage = %+v", u)
+	}
+	if u := attr.Usage(""); u.Calls != 1 {
+		t.Fatalf("untagged usage = %+v", u)
+	}
+	if got := attr.Stages(); len(got) != 3 || got[0] != "" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("stages = %v", got)
+	}
+	total, cost := attr.Total()
+	if total != counting.Total() {
+		t.Fatalf("attribution total %+v != counted %+v", total, counting.Total())
+	}
+	if cost <= 0 {
+		t.Fatalf("cost = %f", cost)
+	}
+	var sum token.Usage
+	for _, s := range attr.Stages() {
+		sum = sum.Add(attr.Usage(s))
+	}
+	if sum != total {
+		t.Fatalf("per-stage sum %+v != total %+v", sum, total)
+	}
+}
+
+// TestAttributionRecordsChargedErrors: the budget-exhaustion path returns
+// a response together with an error after charging it; attribution must
+// record that usage too, or the ledgers drift apart.
+func TestAttributionRecordsChargedErrors(t *testing.T) {
+	attr := NewAttribution()
+	inner := llm.Func{ModelName: "m", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		return llm.Response{
+			Text:  "x",
+			Model: "m",
+			Usage: token.Usage{PromptTokens: 5, CompletionTokens: 5, Calls: 1},
+		}, fmt.Errorf("budget exhausted after charging")
+	}}
+	m := NewAttributing(inner, attr)
+	if _, err := m.Complete(TagStage(context.Background(), "s"), llm.Request{Prompt: "p"}); err == nil {
+		t.Fatal("error should propagate")
+	}
+	if u := attr.Usage("s"); u.Calls != 1 || u.Total() != 10 {
+		t.Fatalf("charged-error usage = %+v, want recorded", u)
+	}
+}

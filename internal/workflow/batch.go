@@ -32,11 +32,17 @@ func (o BatchOptions) withDefaults() BatchOptions {
 
 // batchGroup is the compatibility key of a forming batch: only requests
 // that agree on sampling parameters may share an envelope, because the
-// envelope is issued as a single request carrying those parameters.
-// (Requests with a MaxTokens cap never enter a group — see Complete.)
+// envelope is issued as a single request carrying those parameters. The
+// attribution stage tag participates too: the envelope call runs on one
+// leader's context, so mixing stages would bill one stage for another's
+// tasks. (Each operator invocation builds its own BatchingModel today, so
+// batches never span stages anyway; the key makes that invariant
+// structural rather than incidental. Requests with a MaxTokens cap never
+// enter a group — see Complete.)
 type batchGroup struct {
 	temperature float64
 	seed        int64
+	stage       string
 }
 
 // batchResult is delivered to one waiting caller.
@@ -69,7 +75,11 @@ type batchQueue struct {
 // stragglers pay only latency, never a changed prompt. Tasks whose answer
 // section is missing or unsplittable are re-issued individually with their
 // original prompt — the retry path — so a malformed batched completion
-// degrades to per-task cost, never to a wrong or lost answer. At
+// degrades to per-task cost, never to a wrong or lost answer. A failed
+// envelope call takes the same path: each waiter solo-retries under its
+// own context with its original request (concurrently, bounded by
+// soloRetryParallelism), so one co-batched caller's cancellation or a
+// transient upstream fault never poisons the whole batch. At
 // temperature 0 this makes batched results identical to unbatched ones
 // whenever the upstream model answers each embedded task as it would
 // standalone (the simulator guarantees this; see docs/EXECUTION.md).
@@ -83,10 +93,15 @@ type BatchingModel struct {
 
 	mu      sync.Mutex
 	queues  map[batchGroup]*batchQueue
-	batches int // envelopes issued
-	packed  int // unit tasks that travelled inside an envelope
-	retried int // unit tasks re-issued solo after a bad split
+	batches int // envelope calls issued upstream, failed ones included
+	packed  int // unit tasks answered from inside an envelope
+	retried int // unit tasks re-issued solo after a failed envelope or bad split
 }
+
+// soloRetryParallelism bounds the concurrent solo retries issued after a
+// failed envelope call or a bad split, so a large batch degrades to a
+// bounded fan-out rather than a serialized tail or an unbounded burst.
+const soloRetryParallelism = 8
 
 // NewBatching wraps m with batching under the given options.
 func NewBatching(m llm.Model, opts BatchOptions) *BatchingModel {
@@ -100,8 +115,9 @@ func NewBatching(m llm.Model, opts BatchOptions) *BatchingModel {
 // Name implements llm.Model.
 func (b *BatchingModel) Name() string { return b.inner.Name() }
 
-// Stats returns how many envelopes were issued, how many unit tasks rode
-// in them, and how many fell back to a solo retry.
+// Stats returns how many envelopes were issued upstream (including ones
+// that failed), how many unit tasks rode in a successful envelope, and
+// how many fell back to a solo retry.
 func (b *BatchingModel) Stats() (batches, packed, retried int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -120,7 +136,7 @@ func (b *BatchingModel) Complete(ctx context.Context, req llm.Request) (llm.Resp
 		return b.inner.Complete(ctx, req)
 	}
 	item := &batchItem{ctx: ctx, req: req, ch: make(chan batchResult, 1)}
-	group := batchGroup{temperature: req.Temperature}
+	group := batchGroup{temperature: req.Temperature, stage: StageTag(ctx)}
 	if req.Temperature > 0 {
 		group.seed = req.Seed
 	}
@@ -202,9 +218,17 @@ func (b *BatchingModel) flush(items []*batchItem) {
 	}
 	resp, err := b.inner.Complete(ctx, breq)
 	if err != nil {
-		for _, it := range items {
-			it.ch <- batchResult{err: err}
-		}
+		// A failed envelope is not a failed unit task: the error may be the
+		// leader's cancellation or a transient upstream fault that has
+		// nothing to do with most of the co-batched waiters. Solo-retry
+		// every waiter with its own ctx and original request instead of
+		// propagating the envelope error; FlightGroup already defends
+		// against duplicated in-flight work one layer up. The envelope
+		// still counts as issued — it was a real upstream call.
+		b.mu.Lock()
+		b.batches++
+		b.mu.Unlock()
+		b.retrySolo(items)
 		return
 	}
 	b.mu.Lock()
@@ -213,18 +237,42 @@ func (b *BatchingModel) flush(items []*batchItem) {
 	b.mu.Unlock()
 
 	answers, perr := prompt.ParseTaskBatch(resp.Text, len(items))
+	var retry []*batchItem
 	for i, it := range items {
 		answer, ok := answers[i]
 		if perr != nil || !ok {
 			// Retry path: the model skipped or garbled this task's section;
 			// re-issue it alone with its original prompt.
-			b.mu.Lock()
-			b.retried++
-			b.mu.Unlock()
-			solo, serr := b.inner.Complete(it.ctx, it.req)
-			it.ch <- batchResult{resp: solo, err: serr}
+			retry = append(retry, it)
 			continue
 		}
 		it.ch <- batchResult{resp: llm.Response{Text: answer, Model: resp.Model}}
 	}
+	b.retrySolo(retry)
+}
+
+// retrySolo re-issues each item's original request individually — at most
+// soloRetryParallelism in flight at once — and delivers every waiter its
+// own result (or its own error). Used after a failed envelope call and for
+// tasks whose answer section was missing from a batched completion.
+func (b *BatchingModel) retrySolo(items []*batchItem) {
+	if len(items) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.retried += len(items)
+	b.mu.Unlock()
+	sem := make(chan struct{}, soloRetryParallelism)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it *batchItem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			solo, serr := b.inner.Complete(it.ctx, it.req)
+			it.ch <- batchResult{resp: solo, err: serr}
+		}(it)
+	}
+	wg.Wait()
 }

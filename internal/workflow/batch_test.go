@@ -161,6 +161,115 @@ func TestBatchingSkippedSectionRetriesJustThatTask(t *testing.T) {
 	}
 }
 
+// TestBatchingEnvelopeErrorRetriesEachWaiterSolo: the envelope call
+// itself fails; the error must NOT fan out to every co-batched waiter —
+// each task solo-retries with its own original request and still gets its
+// standalone answer.
+func TestBatchingEnvelopeErrorRetriesEachWaiterSolo(t *testing.T) {
+	var calls atomic.Int64
+	inner := envelopeModel(&calls, nil)
+	failing := llm.Func{ModelName: "env", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		if strings.HasPrefix(req.Prompt, "Below are ") {
+			calls.Add(1)
+			return llm.Response{}, fmt.Errorf("upstream hiccup")
+		}
+		return inner.Complete(ctx, req)
+	}}
+	b := NewBatching(failing, BatchOptions{MaxBatch: 4, Linger: 50 * time.Millisecond})
+	out := completeN(t, b, 4)
+	for i, text := range out {
+		if want := fmt.Sprintf("ans:task %d", i); text != want {
+			t.Fatalf("task %d answer = %q, want %q after solo retry", i, text, want)
+		}
+	}
+	// 1 failed envelope + 4 solo retries.
+	if calls.Load() != 5 {
+		t.Fatalf("upstream calls = %d, want 5", calls.Load())
+	}
+	// The failed envelope was still a real upstream call: batches counts
+	// it, packed does not (no task was answered from it).
+	if batches, packed, retried := b.Stats(); batches != 1 || packed != 0 || retried != 4 {
+		t.Fatalf("stats = %d/%d/%d, want 1/0/4", batches, packed, retried)
+	}
+}
+
+// TestBatchingSoloRetriesRunConcurrently: after a failed envelope, the
+// solo retries must overlap rather than serialize. The model's unit-task
+// path blocks until two retries are simultaneously in flight; sequential
+// retries would park the first one forever.
+func TestBatchingSoloRetriesRunConcurrently(t *testing.T) {
+	var envCalls, soloInFlight atomic.Int64
+	release := make(chan struct{})
+	inner := llm.Func{ModelName: "m", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		if strings.HasPrefix(req.Prompt, "Below are ") {
+			envCalls.Add(1)
+			return llm.Response{}, fmt.Errorf("bad envelope")
+		}
+		if soloInFlight.Add(1) == 2 {
+			close(release)
+		}
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+			t.Error("solo retries did not run concurrently")
+		}
+		return llm.Response{Text: "ok:" + req.Prompt, Model: "m"}, nil
+	}}
+	b := NewBatching(inner, BatchOptions{MaxBatch: 2, Linger: 50 * time.Millisecond})
+	out := completeN(t, b, 2)
+	for i, text := range out {
+		if want := fmt.Sprintf("ok:task %d\ndo it\n", i); text != want {
+			t.Fatalf("task %d answer = %q, want %q", i, text, want)
+		}
+	}
+	if envCalls.Load() != 1 {
+		t.Fatalf("envelope calls = %d, want 1", envCalls.Load())
+	}
+}
+
+// TestBatchingEnvelopeErrorKeepsWaiterContexts: a waiter whose own
+// context is already cancelled gets its own context error from the solo
+// retry, while the other waiters of the failed envelope still succeed.
+func TestBatchingEnvelopeErrorKeepsWaiterContexts(t *testing.T) {
+	var calls atomic.Int64
+	inner := envelopeModel(&calls, nil)
+	failing := llm.Func{ModelName: "env", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		if strings.HasPrefix(req.Prompt, "Below are ") {
+			return llm.Response{}, fmt.Errorf("upstream hiccup")
+		}
+		if err := ctx.Err(); err != nil {
+			return llm.Response{}, err
+		}
+		return inner.Complete(ctx, req)
+	}}
+	b := NewBatching(failing, BatchOptions{MaxBatch: 8, Linger: 30 * time.Millisecond})
+
+	live := context.Background()
+	cancelled, cancel := context.WithCancel(live)
+	cancel()
+	type result struct {
+		text string
+		err  error
+	}
+	results := make([]chan result, 2)
+	ctxs := []context.Context{live, cancelled}
+	for i := range results {
+		results[i] = make(chan result, 1)
+		go func(i int) {
+			resp, err := b.Complete(ctxs[i], llm.Request{Prompt: fmt.Sprintf("task %d\ngo\n", i)})
+			results[i] <- result{text: resp.Text, err: err}
+		}(i)
+	}
+	liveRes := <-results[0]
+	if liveRes.err != nil || liveRes.text != "ans:task 0" {
+		t.Fatalf("live waiter got (%q, %v), want its standalone answer", liveRes.text, liveRes.err)
+	}
+	deadRes := <-results[1]
+	if deadRes.err == nil {
+		t.Fatal("cancelled waiter should surface its own context error")
+	}
+}
+
 func TestBatchingRefusesUnterminatedPrompts(t *testing.T) {
 	var calls atomic.Int64
 	b := NewBatching(envelopeModel(&calls, nil), BatchOptions{MaxBatch: 4, Linger: time.Hour})

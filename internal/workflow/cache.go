@@ -147,12 +147,24 @@ func (c *Cache) Save(w io.Writer) error {
 		}
 		s.mu.RUnlock()
 	}
-	// Deterministic order for reproducible files.
+	// Deterministic order for reproducible files: the full cache key
+	// participates, so a cache shared by several models (or mixed sampling
+	// parameters) still serializes identically run after run.
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Prompt != entries[j].Prompt {
-			return entries[i].Prompt < entries[j].Prompt
+		a, b := entries[i], entries[j]
+		if a.Prompt != b.Prompt {
+			return a.Prompt < b.Prompt
 		}
-		return entries[i].Seed < entries[j].Seed
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Temperature != b.Temperature {
+			return a.Temperature < b.Temperature
+		}
+		return a.MaxTokens < b.MaxTokens
 	})
 	if err := json.NewEncoder(w).Encode(entries); err != nil {
 		return fmt.Errorf("workflow: save cache: %w", err)

@@ -118,6 +118,57 @@ func TestSharedCacheSpansModels(t *testing.T) {
 	}
 }
 
+// TestCacheSaveDeterministicAcrossModels: a shared multi-model cache with
+// entries differing only in model, temperature, or max-tokens must
+// serialize byte-identically regardless of insertion order — the property
+// that makes persisted experiment caches diffable and reproducible.
+func TestCacheSaveDeterministicAcrossModels(t *testing.T) {
+	entries := []cacheKey{
+		{model: "model-b", prompt: "p", temperature: 0.7, seed: 1},
+		{model: "model-a", prompt: "p", temperature: 0.7, seed: 1},
+		{model: "model-a", prompt: "p", temperature: 0, seed: 1},
+		{model: "model-a", prompt: "p", temperature: 0.7, maxTokens: 32, seed: 1},
+		{model: "model-b", prompt: "p", seed: 2},
+		{model: "model-a", prompt: "q"},
+	}
+	save := func(order []int) string {
+		c := NewCache(4)
+		for _, i := range order {
+			c.put(entries[i], llm.Response{Text: fmt.Sprintf("t%d", i)})
+		}
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	forward := save([]int{0, 1, 2, 3, 4, 5})
+	backward := save([]int{5, 4, 3, 2, 1, 0})
+	if forward != backward {
+		t.Fatalf("save output depends on insertion order:\n%s\nvs\n%s", forward, backward)
+	}
+
+	// Round trip: a fresh cache loaded from the file serves every entry,
+	// keyed by the full (model, temperature, maxTokens, seed) identity.
+	fresh := NewCache(4)
+	if err := fresh.Load(bytes.NewReader([]byte(forward))); err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range entries {
+		resp, ok := fresh.get(key)
+		if !ok || resp.Text != fmt.Sprintf("t%d", i) {
+			t.Fatalf("entry %d (%+v) round-tripped to (%q, %v)", i, key, resp.Text, ok)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fresh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != forward {
+		t.Fatal("save -> load -> save is not a fixed point")
+	}
+}
+
 func TestExecLayerSaveLoadRoundTrip(t *testing.T) {
 	var calls atomic.Int64
 	layer := NewExecLayerShards(4)

@@ -89,6 +89,23 @@ func (b *Budget) exceededLocked() bool {
 	return false
 }
 
+// RemainingDollars returns the dollar headroom left under the cap (never
+// negative) and whether a dollar cap is set at all. Pipeline-level
+// planning uses it to hand the per-stage planner the budget that is
+// actually still available.
+func (b *Budget) RemainingDollars() (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.maxDollars <= 0 {
+		return 0, false
+	}
+	rem := b.maxDollars - b.spentDollars
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
 // Spent returns the usage and dollars recorded so far.
 func (b *Budget) Spent() (token.Usage, float64) {
 	b.mu.Lock()
