@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table of the paper's evaluation plus the
-// DESIGN.md ablations. Run with:
+// repository's ablations (A1–A9, see README.md). Run with:
 //
 //	go test -bench=. -benchmem
 //

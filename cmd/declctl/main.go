@@ -29,6 +29,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/workflow"
 )
 
 func main() {
@@ -55,6 +56,9 @@ func main() {
 	specPath := sub.String("spec", "", "JSON pipeline spec file for pipeline (empty = built-in demo)")
 	plModel := sub.String("model", "sim-gpt-3.5-turbo", "model name for pipeline")
 	plNaive := sub.Bool("naive", false, "run the pipeline unoptimized with isolated per-stage engines")
+	plProbe := sub.Int("probe", 0, "sample size for measured filter selectivity in pipeline (0 = trust spec hints)")
+	plMaterialized := sub.Bool("materialized", false, "disable record streaming between pipeline stages")
+	plChunk := sub.Int("chunk", 0, "records per streaming micro-batch for pipeline (0 = max(batch, 8))")
 	plRecords := sub.Int("records", 24, "base source records for pipeline-study")
 	plDup := sub.Float64("dup", 0.4, "duplicated fraction for pipeline-study")
 	sub.Parse(flag.Args()[1:])
@@ -231,8 +235,30 @@ func main() {
 		if err != nil {
 			return err
 		}
+		counting := llm.NewCounting(sim.NewNamed(*plModel))
+		execCfg := pipeline.ExecConfig{
+			Model:        counting,
+			Batch:        *batch,
+			Parallelism:  16,
+			Chunk:        *plChunk,
+			Materialized: *plMaterialized || *plNaive,
+			Isolated:     *plNaive,
+			// Persistent layer and ledger so probe work is re-served from
+			// cache by the run and reported as the __probe row.
+			Exec:        workflow.NewExecLayer(),
+			Attribution: workflow.NewAttribution(),
+		}
 		if !*plNaive {
-			optimized, rewrites, err := pipeline.Optimize(spec)
+			var (
+				optimized pipeline.Spec
+				rewrites  []string
+			)
+			if *plProbe > 0 {
+				optimized, rewrites, err = pipeline.OptimizeProbed(ctx, spec, execCfg, tables,
+					pipeline.ProbeOptions{Sample: *plProbe})
+			} else {
+				optimized, rewrites, err = pipeline.Optimize(spec)
+			}
 			if err != nil {
 				return err
 			}
@@ -245,13 +271,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		counting := llm.NewCounting(sim.NewNamed(*plModel))
-		res, err := p.Run(ctx, pipeline.ExecConfig{
-			Model:       counting,
-			Batch:       *batch,
-			Parallelism: 16,
-			Isolated:    *plNaive,
-		}, tables)
+		res, err := p.Run(ctx, execCfg, tables)
 		if err != nil {
 			return err
 		}
@@ -354,10 +374,14 @@ commands:
   index-bench     vector retrieval: queries/sec and recall, exact vs ANN
                   (-n N -k K -queries Q -partitions P -probes R)
   pipeline        run a declarative operator DAG from a JSON spec with the
-                  optimizer, shared engine, and per-stage attribution
-                  (-spec file.json -model M -batch K -naive)
-  pipeline-study  naive sequential operators vs the optimized pipeline on
-                  one workload (-records N -dup F -batch K)
+                  optimizer, record streaming, shared engine, and per-stage
+                  attribution (-spec file.json -model M -batch K -naive
+                  -probe K measures hintless filter selectivity on a sample,
+                  -materialized disables streaming, -chunk N sets the
+                  micro-batch width)
+  pipeline-study  naive sequential operators vs the optimized pipeline,
+                  materialized and streaming+probed, on one workload
+                  (-records N -dup F -batch K)
   all             run everything
 `)
 }

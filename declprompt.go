@@ -18,7 +18,7 @@
 //	})
 //
 // Models are pluggable: NewSimModel returns the built-in simulated noisy
-// oracle (see DESIGN.md for the substitution rationale), NewHTTPModel
+// oracle (see internal/llm/sim for the substitution rationale), NewHTTPModel
 // speaks the OpenAI-compatible wire protocol to a remote endpoint, and
 // any type implementing Model can be used directly.
 package declprompt
@@ -27,10 +27,12 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/llm"
 	"repro/internal/llm/httpapi"
 	"repro/internal/llm/sim"
+	"repro/internal/pipeline"
 	"repro/internal/token"
 	"repro/internal/workflow"
 )
@@ -160,6 +162,48 @@ var (
 	ErrBadRequest      = core.ErrBadRequest
 	ErrBudgetExhausted = workflow.ErrBudgetExhausted
 )
+
+// Declarative pipeline layer (internal/pipeline, docs/PIPELINE.md): a
+// whole workload — filter, resolve, impute, join, … — described as one
+// spec, optimized, and executed as a streaming operator DAG on a shared
+// engine with per-stage budget attribution.
+type (
+	// Record is one row of a pipeline table.
+	Record = dataset.Record
+	// PipelineSpec is the JSON-serializable pipeline description.
+	PipelineSpec = pipeline.Spec
+	// PipelineStage describes one operator stage of a spec.
+	PipelineStage = pipeline.StageSpec
+	// Pipeline is a compiled, runnable stage DAG.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig parameterises one pipeline run (model, budget,
+	// shared layer, batching, streaming chunk size).
+	PipelineConfig = pipeline.ExecConfig
+	// PipelineResult is a run's tables, scalars, and per-stage accounting.
+	PipelineResult = pipeline.Result
+	// ProbeOptions configures OptimizePipelineProbed's sampling.
+	ProbeOptions = pipeline.ProbeOptions
+)
+
+// CompilePipeline validates a spec into a runnable pipeline.
+func CompilePipeline(spec PipelineSpec) (*Pipeline, error) { return pipeline.Compile(spec) }
+
+// OptimizePipeline rewrites a spec without changing its temperature-0
+// results, trusting the spec's selectivity hints; the returned trace
+// logs every rewrite. See docs/OPTIMIZER.md.
+func OptimizePipeline(spec PipelineSpec) (PipelineSpec, []string, error) {
+	return pipeline.Optimize(spec)
+}
+
+// OptimizePipelineProbed rewrites like OptimizePipeline but first
+// measures each hintless filter's selectivity on a deterministic sample
+// of the source table. Pass a cfg with a persistent ExecLayer and
+// Attribution shared with the subsequent Run so probe work is re-served
+// from cache and attributed as the report's probe row.
+func OptimizePipelineProbed(ctx context.Context, spec PipelineSpec, cfg PipelineConfig,
+	tables map[string][]Record, opts ProbeOptions) (PipelineSpec, []string, error) {
+	return pipeline.OptimizeProbed(ctx, spec, cfg, tables, opts)
+}
 
 // NewEngine returns an engine bound to the given model.
 func NewEngine(model Model, opts ...Option) *Engine {

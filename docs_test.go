@@ -1,0 +1,59 @@
+package declprompt
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve is the docs link check CI runs: every relative
+// link in README.md, ROADMAP.md, docs/*.md, and examples/*/README.md
+// must point at a file or directory that exists, so the documentation
+// index never rots silently. External URLs and intra-page anchors are
+// out of scope.
+func TestDocLinksResolve(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"README.md", "ROADMAP.md", "docs/*.md", "examples/*/README.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 7 {
+		t.Fatalf("glob found only %d markdown files; the doc set should be larger", len(files))
+	}
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s:%d: link %q does not resolve (%v)", file, lineNo+1, m[1], err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/token"
+)
+
+func TestStrideSample(t *testing.T) {
+	items := make([]string, 10)
+	for i := range items {
+		items[i] = fmt.Sprintf("item-%d", i)
+	}
+	got := strideSample(items, 4)
+	want := []string{"item-0", "item-2", "item-5", "item-7"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stride sample = %v, want %v", got, want)
+		}
+	}
+	if n := len(strideSample(items, 20)); n != 10 {
+		t.Fatalf("oversized sample returned %d items, want all 10", n)
+	}
+	// Deterministic: the same inputs always probe the same records.
+	again := strideSample(items, 4)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("stride sample is not deterministic")
+		}
+	}
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	yesOn := func(s string) llm.Model {
+		return llm.Func{ModelName: "m", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+			text := "No"
+			if strings.Contains(req.Prompt, s) {
+				text = "Yes"
+			}
+			return llm.Response{Text: text, Model: "m", Usage: token.Usage{PromptTokens: 1, CompletionTokens: 1, Calls: 1}}, nil
+		}}
+	}
+	items := []string{"red-0", "blue-1", "red-2", "blue-3", "red-4", "blue-5"}
+	e := New(yesOn("red"))
+	est, err := e.EstimateSelectivity(context.Background(), FilterRequest{Items: items, Predicate: "p"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sampled != 6 || est.Kept != 3 || est.Fraction != 0.5 {
+		t.Fatalf("estimate = %+v, want 3/6 kept", est)
+	}
+	if est.Usage.Calls == 0 {
+		t.Fatal("probe reported zero usage")
+	}
+	// A smaller sample still strides the whole range.
+	est, err = e.EstimateSelectivity(context.Background(), FilterRequest{Items: items, Predicate: "p"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sampled != 3 {
+		t.Fatalf("sampled %d, want 3", est.Sampled)
+	}
+	if _, err := e.EstimateSelectivity(context.Background(), FilterRequest{Items: items, Predicate: "p"}, 0); err == nil {
+		t.Fatal("sample 0 accepted")
+	}
+	if _, err := e.EstimateSelectivity(context.Background(), FilterRequest{Predicate: "p"}, 4); err == nil {
+		t.Fatal("empty items accepted")
+	}
+}

@@ -6,8 +6,7 @@
 //
 // The original experiments used proprietary snapshots of public datasets;
 // this package generates synthetic equivalents with the same statistical
-// structure (see DESIGN.md, "Substitutions"). All generators are
-// deterministic given a seed.
+// structure. All generators are deterministic given a seed.
 package dataset
 
 import (

@@ -6,12 +6,14 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
 	"repro/internal/token"
+	"repro/internal/workflow"
 )
 
 // PipelineStudyConfig parameterises the pipeline-optimization study.
@@ -30,6 +32,9 @@ type PipelineStudyConfig struct {
 	Batch int
 	// Parallelism bounds concurrent calls.
 	Parallelism int
+	// ProbeSample caps the records the probing optimizer samples per
+	// hintless filter in the streaming configuration (default 8).
+	ProbeSample int
 	// Seed drives the deterministic workload generator.
 	Seed int64
 }
@@ -38,7 +43,7 @@ type PipelineStudyConfig struct {
 func DefaultPipelineStudyConfig() PipelineStudyConfig {
 	return PipelineStudyConfig{
 		Model: "sim-gpt-3.5-turbo", Records: 24, DupFrac: 0.4,
-		TrainN: 60, Batch: 8, Parallelism: 16, Seed: 7,
+		TrainN: 60, Batch: 8, Parallelism: 16, ProbeSample: 8, Seed: 7,
 	}
 }
 
@@ -49,6 +54,12 @@ type PipelineStudyRun struct {
 	// UpstreamCalls and UpstreamTokens count what actually reached the
 	// model, measured below every wrapper.
 	UpstreamCalls, UpstreamTokens int
+	// ProbeCalls counts the upstream calls the probing optimizer's
+	// selectivity probes spent (attributed under workflow.StageProbe;
+	// zero for hint-trusting configurations).
+	ProbeCalls int
+	// WallClock is the configuration's elapsed execution time.
+	WallClock time.Duration
 	// Stages is the per-stage attribution report.
 	Stages []pipeline.StageReport
 	// Usage is the attribution total; its Calls/Total must equal the
@@ -59,14 +70,23 @@ type PipelineStudyRun struct {
 }
 
 // PipelineStudyResult compares naive sequential operator invocation with
-// the optimized pipeline on one workload.
+// the optimized pipeline — materialized with the spec's selectivity
+// hints, and record-streaming with probed (measured) selectivities — on
+// one workload.
 type PipelineStudyResult struct {
-	Naive, Optimized PipelineStudyRun
-	// Rewrites is the optimizer's log.
+	Naive, Optimized, Streaming PipelineStudyRun
+	// Rewrites is the hint-trusting optimizer's log.
 	Rewrites []string
+	// ProbeTrace is the probing optimizer's log: hint-vs-measured lines
+	// followed by the rewrites it applied.
+	ProbeTrace []string
 	// Identical reports whether the final table and scalar outputs match
-	// exactly — the temperature-0 equivalence the optimizer promises.
+	// exactly between naive and optimized — the temperature-0 equivalence
+	// the optimizer promises.
 	Identical bool
+	// StreamingIdentical reports the same equivalence between the
+	// materialized and the streaming+probed configurations.
+	StreamingIdentical bool
 	// CallReduction is naive calls divided by optimized calls.
 	CallReduction float64
 }
@@ -143,18 +163,23 @@ func pipelineStudyModel(name string) (*llm.CountingModel, error) {
 }
 
 // PipelineStudy measures what the declarative pipeline layer buys on one
-// workload. Two configurations run the same spec:
+// workload. Three configurations run the same spec:
 //
 //   - naive: the user's stage order, each operator invoked in sequence
-//     with a fresh isolated engine — the cost a user pays today calling
-//     operators one by one;
-//   - optimized: the optimizer's rewritten order (filter pushed ahead of
-//     the quadratic dedupe) on one shared engine — one execution layer,
-//     one index registry, one budget, unit-task batching — with per-stage
-//     attribution.
+//     with a fresh isolated engine on whole tables — the cost a user pays
+//     today calling operators one by one;
+//   - optimized: the hint-trusting optimizer's rewritten order (filter
+//     pushed ahead of the quadratic dedupe) on one shared engine — one
+//     execution layer, one index registry, one budget, unit-task
+//     batching — materialized, with per-stage attribution;
+//   - streaming: the same rewritten plan with the spec's selectivity
+//     hints stripped, so the optimizer *measures* filter selectivity on a
+//     record sample (probe spend attributed under workflow.StageProbe),
+//     executed with record-level streaming between stages.
 //
-// At temperature 0 both produce identical final tables and scalars; the
-// optimized run spends strictly fewer upstream calls and tokens.
+// At temperature 0 all three produce identical final tables and scalars;
+// the optimized runs spend strictly fewer upstream calls and tokens, and
+// the per-run wall clocks expose what streaming overlap buys.
 func PipelineStudy(ctx context.Context, cfg PipelineStudyConfig) (*PipelineStudyResult, error) {
 	if cfg.Records < 4 {
 		return nil, fmt.Errorf("pipeline study: need at least 4 records, got %d", cfg.Records)
@@ -167,23 +192,12 @@ func PipelineStudy(ctx context.Context, cfg PipelineStudyConfig) (*PipelineStudy
 		return nil, fmt.Errorf("pipeline study: optimize: %w", err)
 	}
 
-	runOne := func(label string, s pipeline.Spec, isolated bool) (PipelineStudyRun, *pipeline.Result, error) {
-		counting, err := pipelineStudyModel(cfg.Model)
-		if err != nil {
-			return PipelineStudyRun{}, nil, err
-		}
+	runOne := func(label string, s pipeline.Spec, execCfg pipeline.ExecConfig, counting *llm.CountingModel) (PipelineStudyRun, *pipeline.Result, error) {
 		p, err := pipeline.Compile(s)
 		if err != nil {
 			return PipelineStudyRun{}, nil, fmt.Errorf("compile %s: %w", label, err)
 		}
-		execCfg := pipeline.ExecConfig{
-			Model:       counting,
-			Parallelism: cfg.Parallelism,
-			Isolated:    isolated,
-		}
-		if !isolated {
-			execCfg.Batch = cfg.Batch
-		}
+		start := time.Now()
 		res, err := p.Run(ctx, execCfg, tables)
 		if err != nil {
 			return PipelineStudyRun{}, nil, fmt.Errorf("run %s: %w", label, err)
@@ -193,30 +207,77 @@ func PipelineStudy(ctx context.Context, cfg PipelineStudyConfig) (*PipelineStudy
 			Config:         label,
 			UpstreamCalls:  total.Calls,
 			UpstreamTokens: total.Total(),
+			WallClock:      time.Since(start),
 			Stages:         res.Stages,
 			Usage:          res.Usage,
 			Count:          res.Scalars["in-ny"],
 		}, res, nil
 	}
 
-	naive, naiveRes, err := runOne("naive sequential (seed)", spec, true)
+	naiveModel, err := pipelineStudyModel(cfg.Model)
 	if err != nil {
 		return nil, err
 	}
-	optimized, optRes, err := runOne("optimized pipeline", optSpec, false)
+	naive, naiveRes, err := runOne("naive sequential (seed)", spec, pipeline.ExecConfig{
+		Model: naiveModel, Parallelism: cfg.Parallelism, Isolated: true, Materialized: true,
+	}, naiveModel)
 	if err != nil {
 		return nil, err
 	}
+
+	optModel, err := pipelineStudyModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	optimized, optRes, err := runOne("optimized pipeline", optSpec, pipeline.ExecConfig{
+		Model: optModel, Parallelism: cfg.Parallelism, Batch: cfg.Batch, Materialized: true,
+	}, optModel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Streaming configuration: strip the filter hints so the optimizer
+	// must measure, share one layer and ledger between probing and the
+	// run, and let records flow between stages.
+	strModel, err := pipelineStudyModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	hintless := spec
+	hintless.Stages = append([]pipeline.StageSpec(nil), spec.Stages...)
+	for i := range hintless.Stages {
+		hintless.Stages[i].Selectivity = 0
+	}
+	attr := workflow.NewAttribution()
+	strCfg := pipeline.ExecConfig{
+		Model: strModel, Parallelism: cfg.Parallelism, Batch: cfg.Batch,
+		Exec: workflow.NewExecLayer(), Attribution: attr,
+	}
+	probedSpec, probeTrace, err := pipeline.OptimizeProbed(ctx, hintless, strCfg, tables,
+		pipeline.ProbeOptions{Sample: cfg.ProbeSample})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline study: probed optimize: %w", err)
+	}
+	streaming, strRes, err := runOne("streaming + probed", probedSpec, strCfg, strModel)
+	if err != nil {
+		return nil, err
+	}
+	streaming.ProbeCalls = attr.Usage(workflow.StageProbe).Calls
 
 	last := spec.Stages[len(spec.Stages)-1].Name
 	identical := reflect.DeepEqual(naiveRes.Tables[last], optRes.Tables[last]) &&
 		reflect.DeepEqual(naiveRes.Scalars, optRes.Scalars)
+	streamingIdentical := reflect.DeepEqual(optRes.Tables[last], strRes.Tables[last]) &&
+		reflect.DeepEqual(optRes.Scalars, strRes.Scalars)
 
 	out := &PipelineStudyResult{
-		Naive:     naive,
-		Optimized: optimized,
-		Rewrites:  rewrites,
-		Identical: identical,
+		Naive:              naive,
+		Optimized:          optimized,
+		Streaming:          streaming,
+		Rewrites:           rewrites,
+		ProbeTrace:         probeTrace,
+		Identical:          identical,
+		StreamingIdentical: streamingIdentical,
 	}
 	if optimized.UpstreamCalls > 0 {
 		out.CallReduction = float64(naive.UpstreamCalls) / float64(optimized.UpstreamCalls)
@@ -230,17 +291,24 @@ func FormatPipelineStudy(res *PipelineStudyResult) string {
 	for _, rw := range res.Rewrites {
 		fmt.Fprintf(&b, "rewrite: %s\n", rw)
 	}
-	fmt.Fprintf(&b, "%-26s %10s %12s %10s\n", "Configuration", "# Calls", "# Tokens", "Reduction")
-	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized} {
+	for _, line := range res.ProbeTrace {
+		fmt.Fprintf(&b, "trace: %s\n", line)
+	}
+	fmt.Fprintf(&b, "%-26s %10s %12s %10s %12s\n", "Configuration", "# Calls", "# Tokens", "Reduction", "Wall clock")
+	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized, res.Streaming} {
 		red := 1.0
 		if run.UpstreamCalls > 0 {
 			red = float64(res.Naive.UpstreamCalls) / float64(run.UpstreamCalls)
 		}
-		fmt.Fprintf(&b, "%-26s %10d %12d %9.1fx\n", run.Config, run.UpstreamCalls, run.UpstreamTokens, red)
+		fmt.Fprintf(&b, "%-26s %10d %12d %9.1fx %12s\n",
+			run.Config, run.UpstreamCalls, run.UpstreamTokens, red, run.WallClock.Round(time.Microsecond))
 	}
-	fmt.Fprintf(&b, "identical results: %v, count scalar: %s\n", res.Identical, res.Optimized.Count)
-	b.WriteString("per-stage attribution (optimized):\n")
-	for _, s := range res.Optimized.Stages {
+	fmt.Fprintf(&b, "identical results: %v (streaming: %v), count scalar: %s\n",
+		res.Identical, res.StreamingIdentical, res.Optimized.Count)
+	fmt.Fprintf(&b, "probe calls: %d of the streaming run's %d (hint-trusting optimized run: 0)\n",
+		res.Streaming.ProbeCalls, res.Streaming.UpstreamCalls)
+	b.WriteString("per-stage attribution (streaming + probed):\n")
+	for _, s := range res.Streaming.Stages {
 		fmt.Fprintf(&b, "  %-10s %-10s in %3d out %3d  %6d calls %8d tokens  $%.4f  %s\n",
 			s.Name, s.Kind, s.In, s.Out, s.Usage.Calls, s.Usage.Total(), s.Cost, s.Detail)
 	}

@@ -40,10 +40,36 @@ func TestPipelineStudyPinned(t *testing.T) {
 	if len(res.Rewrites) == 0 {
 		t.Fatal("optimizer applied no rewrites; the study spec must exercise filter pushdown")
 	}
-	// Attribution consistency, for both configurations: the per-stage sums
+	// The streaming configuration: identical temperature-0 results to the
+	// materialized optimized run, probe spend attributed under its own
+	// stage tag, and the probe row visible in the report.
+	if !res.StreamingIdentical {
+		t.Fatal("streaming + probed results differ from the materialized optimized run at temperature 0")
+	}
+	if res.Streaming.ProbeCalls == 0 {
+		t.Fatal("probing optimizer issued no attributed probe calls on a hintless spec")
+	}
+	if res.Streaming.UpstreamCalls >= res.Naive.UpstreamCalls {
+		t.Fatalf("streaming calls = %d (probes included), want strictly fewer than naive %d",
+			res.Streaming.UpstreamCalls, res.Naive.UpstreamCalls)
+	}
+	probeRow := false
+	for _, s := range res.Streaming.Stages {
+		if s.Kind == "probe" && s.Usage.Calls == res.Streaming.ProbeCalls {
+			probeRow = true
+		}
+	}
+	if !probeRow {
+		t.Fatal("streaming run's report lacks the probe attribution row")
+	}
+	if len(res.ProbeTrace) == 0 || !strings.Contains(strings.Join(res.ProbeTrace, "\n"), "measured selectivity") {
+		t.Fatalf("probe trace missing hint-vs-measured lines: %v", res.ProbeTrace)
+	}
+
+	// Attribution consistency, for all configurations: the per-stage sums
 	// equal the attribution total, and the total equals what the upstream
 	// counter actually saw at the model boundary.
-	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized} {
+	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized, res.Streaming} {
 		sum := sumStageUsage(run.Stages)
 		if sum != run.Usage {
 			t.Errorf("%s: stage usage sum %+v != attributed total %+v", run.Config, sum, run.Usage)
@@ -59,7 +85,8 @@ func TestPipelineStudyPinned(t *testing.T) {
 		t.Errorf("call reduction = %.1fx, want at least 2x on the study workload", res.CallReduction)
 	}
 	out := FormatPipelineStudy(res)
-	for _, want := range []string{"rewrite:", "optimized pipeline", "identical results: true", "per-stage attribution"} {
+	for _, want := range []string{"rewrite:", "optimized pipeline", "streaming + probed",
+		"identical results: true (streaming: true)", "probe calls:", "per-stage attribution"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("format output missing %q:\n%s", want, out)
 		}

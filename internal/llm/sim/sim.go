@@ -1,6 +1,7 @@
 // Package sim implements the simulated noisy-oracle LLM that stands in
-// for the vendor models used in the paper's experiments (see DESIGN.md,
-// "Substitutions").
+// for the vendor models used in the paper's experiments, so everything
+// reproduces deterministically, offline, and free (the substitution
+// rationale is summarized in README.md).
 //
 // An Oracle receives a plain-text prompt, recognises which unit task the
 // prompt encodes (the toolkit's templates from internal/prompt play the

@@ -47,15 +47,15 @@ func benchRun(b *testing.B, spec Spec, cfg ExecConfig) {
 }
 
 // BenchmarkPipelineNaive is the seed behaviour: user stage order, one
-// isolated engine per stage.
+// isolated engine per stage, whole-table handoff.
 func BenchmarkPipelineNaive(b *testing.B) {
 	benchRun(b, benchSpec(), ExecConfig{
-		Model: sim.NewNamed("sim-gpt-3.5-turbo"), Parallelism: 16, Isolated: true,
+		Model: sim.NewNamed("sim-gpt-3.5-turbo"), Parallelism: 16, Isolated: true, Materialized: true,
 	})
 }
 
 // BenchmarkPipelineOptimized runs the optimizer's rewritten plan on one
-// shared engine with batching.
+// shared engine with batching and record streaming (the default).
 func BenchmarkPipelineOptimized(b *testing.B) {
 	spec, _, err := Optimize(benchSpec())
 	if err != nil {
@@ -63,6 +63,19 @@ func BenchmarkPipelineOptimized(b *testing.B) {
 	}
 	benchRun(b, spec, ExecConfig{
 		Model: sim.NewNamed("sim-gpt-3.5-turbo"), Parallelism: 16, Batch: 8,
+	})
+}
+
+// BenchmarkPipelineOptimizedMaterialized is the same plan with streaming
+// disabled — the wall-clock delta against BenchmarkPipelineOptimized is
+// what record-level streaming buys (or costs) on this workload.
+func BenchmarkPipelineOptimizedMaterialized(b *testing.B) {
+	spec, _, err := Optimize(benchSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, spec, ExecConfig{
+		Model: sim.NewNamed("sim-gpt-3.5-turbo"), Parallelism: 16, Batch: 8, Materialized: true,
 	})
 }
 

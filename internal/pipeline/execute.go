@@ -24,21 +24,98 @@ type ExecConfig struct {
 	// accounting either way).
 	Budget *workflow.Budget
 	// Exec is the shared execution layer (cache + coalescer). Nil builds a
-	// fresh layer for the run; pass a persistent one to share across runs.
+	// fresh layer for the run; pass a persistent one to share across runs —
+	// and to let OptimizeProbed's selectivity probes pre-warm the cache the
+	// run then reads.
 	Exec *workflow.ExecLayer
 	// Registry is the shared embedding-index registry. Nil builds a fresh
 	// one for the run, which already spans every stage.
 	Registry *embed.Registry
+	// Attribution is the per-stage ledger the run records into; nil builds
+	// a fresh one. Pass the same ledger (and Exec) to OptimizeProbed and
+	// Run so probe spend appears in the run's report under
+	// workflow.StageProbe and the report still sums to the budget total.
+	// Use one Attribution per logical run — it accumulates.
+	Attribution *workflow.Attribution
 	// Batch packs up to this many unit tasks per envelope prompt (<= 1
 	// disables batching).
 	Batch int
 	// Parallelism bounds concurrent LLM calls per operator (default 8).
 	Parallelism int
+	// Chunk bounds the records per streaming micro-batch (default
+	// max(Batch, 8)). Larger chunks amortize per-invocation overhead;
+	// smaller ones hand records downstream sooner.
+	Chunk int
+	// Materialized disables record-level streaming: every stage drains its
+	// whole input before running — the pre-streaming executor behaviour.
+	// Temperature-0 results are identical either way; the flag exists for
+	// the streaming-vs-materialized wall-clock comparison in the
+	// experiments.
+	Materialized bool
 	// Isolated reproduces naive sequential operator invocation: a fresh
 	// engine per stage, each with the default private per-invocation
 	// cache and no shared layer, registry, or batching. The experiments
 	// use it as the baseline the optimized pipeline is measured against.
 	Isolated bool
+}
+
+// chunkSize resolves the streaming micro-batch width.
+func (cfg ExecConfig) chunkSize() int {
+	if cfg.Chunk > 0 {
+		return cfg.Chunk
+	}
+	if cfg.Batch > 8 {
+		return cfg.Batch
+	}
+	return 8
+}
+
+// runtime binds one run's shared machinery: the budget, the attribution
+// ledger, and the engine factory (one shared engine unless Isolated).
+// OptimizeProbed builds the same runtime from the same config so probes
+// run through the very cache and ledger the run will use.
+type execRuntime struct {
+	budget    *workflow.Budget
+	attr      *workflow.Attribution
+	engineFor func() *core.Engine
+}
+
+func (cfg ExecConfig) runtime() *execRuntime {
+	budget := cfg.Budget
+	if budget == nil {
+		budget = workflow.Unlimited()
+	}
+	attr := cfg.Attribution
+	if attr == nil {
+		attr = workflow.NewAttribution()
+	}
+	baseOpts := []core.Option{core.WithBudget(budget), core.WithAttribution(attr)}
+	if cfg.Parallelism > 0 {
+		baseOpts = append(baseOpts, core.WithParallelism(cfg.Parallelism))
+	}
+	if cfg.Embedder != nil {
+		baseOpts = append(baseOpts, core.WithEmbedder(cfg.Embedder))
+	}
+	rt := &execRuntime{budget: budget, attr: attr}
+	rt.engineFor = func() *core.Engine { return core.New(cfg.Model, baseOpts...) }
+	if !cfg.Isolated {
+		layer := cfg.Exec
+		if layer == nil {
+			layer = workflow.NewExecLayer()
+		}
+		registry := cfg.Registry
+		if registry == nil {
+			registry = embed.NewRegistry()
+		}
+		opts := append(append([]core.Option(nil), baseOpts...),
+			core.WithExecutionLayer(layer), core.WithIndexRegistry(registry))
+		if cfg.Batch > 1 {
+			opts = append(opts, core.WithBatching(cfg.Batch))
+		}
+		shared := core.New(cfg.Model, opts...)
+		rt.engineFor = func() *core.Engine { return shared }
+	}
+	return rt
 }
 
 // Env is the execution environment handed to each stage.
@@ -47,10 +124,13 @@ type Env struct {
 	Engine *core.Engine
 	// Budget is the shared whole-pipeline budget.
 	Budget *workflow.Budget
-	// Tables holds the static side tables (plus "source").
+	// Tables holds the side tables visible to the stage: the static tables
+	// passed to Run (plus "source"), overlaid with any dynamic side table
+	// materialized from an earlier stage's stream.
 	Tables map[string][]dataset.Record
 
-	run *runState
+	chunk int
+	run   *runState
 }
 
 // runState collects scalar outputs and details across stages.
@@ -74,13 +154,17 @@ func (e *Env) detail(stage, text string) {
 
 // StageReport is the per-stage accounting of one run.
 type StageReport struct {
-	// Name and Kind identify the stage.
+	// Name and Kind identify the stage. A run whose spec was rewritten by
+	// OptimizeProbed additionally reports one synthetic row named
+	// workflow.StageProbe ("__probe", kind "probe") carrying the
+	// optimizer's selectivity-probe spend.
 	Name, Kind string
 	// In and Out count the records entering and leaving the stage.
 	In, Out int
 	// Usage is the real upstream spend attributed to this stage; summed
-	// across stages it equals the pipeline total (cache hits, coalesced
-	// followers, and batch co-riders are free and attributed nowhere).
+	// across stages (including the probe row) it equals the pipeline
+	// total (cache hits, coalesced followers, and batch co-riders are
+	// free and attributed nowhere).
 	Usage token.Usage
 	// Cost prices Usage at the model's rate.
 	Cost float64
@@ -94,116 +178,161 @@ type Result struct {
 	Tables map[string][]dataset.Record
 	// Scalars holds the scalar outputs of count/max stages by stage name.
 	Scalars map[string]string
-	// Stages reports per-stage accounting in pipeline order.
+	// Stages reports per-stage accounting in pipeline order (preceded by
+	// the synthetic probe row when the optimizer measured selectivities
+	// against this run's Attribution).
 	Stages []StageReport
 	// Usage and Cost total the run (equal to the sum over Stages).
 	Usage token.Usage
 	Cost  float64
 }
 
-// promise is one stage's eventually-available output table.
-type promise struct {
-	done  chan struct{}
-	table []dataset.Record
-	err   error
+// streamOut is one stage's output viewed both as a stream and as a
+// table: the owning goroutine sends each record to every subscribed
+// consumer channel while collecting the full table for the Result (and
+// for dynamic side-table consumers, who need it whole). done closes when
+// the stage finishes; err is set before done closes on failure.
+type streamOut struct {
+	table    []dataset.Record
+	err      error
+	consumed int
+	done     chan struct{}
+	subs     []chan dataset.Record
+}
+
+// send delivers one record to every subscriber, honouring backpressure;
+// it reports false when the run's context is cancelled.
+func (o *streamOut) send(ctx context.Context, r dataset.Record) bool {
+	for _, ch := range o.subs {
+		select {
+		case ch <- r:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+func (o *streamOut) closeSubs() {
+	for _, ch := range o.subs {
+		close(ch)
+	}
+}
+
+// drain collects the whole input stream — the barrier path — and then
+// surfaces the upstream error if the stream ended because its producer
+// failed.
+func drain(ctx context.Context, in <-chan dataset.Record, up *streamOut) ([]dataset.Record, error) {
+	var recs []dataset.Record
+	for {
+		select {
+		case r, ok := <-in:
+			if !ok {
+				<-up.done
+				if up.err != nil {
+					return nil, up.err
+				}
+				return recs, nil
+			}
+			recs = append(recs, r)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// nextChunk assembles one streaming micro-batch: it blocks for the first
+// record, then greedily tops up with whatever the producer has already
+// buffered (up to n), so a fast upstream fills chunks and a slow one
+// doesn't stall the stage. Returns more=false once the stream is
+// exhausted; the final chunk may still carry records.
+func nextChunk(ctx context.Context, in <-chan dataset.Record, n int) (chunk []dataset.Record, more bool, err error) {
+	select {
+	case r, ok := <-in:
+		if !ok {
+			return nil, false, nil
+		}
+		chunk = append(chunk, r)
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	for len(chunk) < n {
+		select {
+		case r, ok := <-in:
+			if !ok {
+				return chunk, false, nil
+			}
+			chunk = append(chunk, r)
+		default:
+			return chunk, true, nil
+		}
+	}
+	return chunk, true, nil
 }
 
 // Run executes the pipeline over the given tables (which must include
-// "source"). Stages whose inputs are ready run concurrently — independent
-// DAG branches overlap — and, unless Isolated, all of them stream their
-// unit tasks through one shared engine: one execution layer, one
-// embedding-index registry, one budget. Each stage's context is tagged
-// with its name, so the returned report attributes the shared budget's
-// spend stage by stage.
+// "source") as a streaming dataflow: every stage runs in its own
+// goroutine, records flow between stages over bounded channels, and a
+// per-record stage (filter, direct categorize, fixed-strategy impute,
+// nested-loop join) processes micro-batches while its upstream is still
+// emitting. Barrier stages — sort, max, count, resolve, planner-driven
+// impute, any stage with a dynamic side input, or everything when
+// cfg.Materialized is set — drain their input first; results are
+// identical either way at temperature 0. Unless Isolated, all stages
+// stream their unit tasks through one shared engine: one execution
+// layer, one embedding-index registry, one budget. Each stage's context
+// is tagged with its name, so the returned report attributes the shared
+// budget's spend stage by stage.
 func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]dataset.Record) (*Result, error) {
 	source, ok := tables["source"]
 	if !ok {
 		return nil, fmt.Errorf("pipeline: tables lack %q", "source")
 	}
-	budget := cfg.Budget
-	if budget == nil {
-		budget = workflow.Unlimited()
-	}
-	attr := workflow.NewAttribution()
-	baseOpts := []core.Option{core.WithBudget(budget), core.WithAttribution(attr)}
-	if cfg.Parallelism > 0 {
-		baseOpts = append(baseOpts, core.WithParallelism(cfg.Parallelism))
-	}
-	if cfg.Embedder != nil {
-		baseOpts = append(baseOpts, core.WithEmbedder(cfg.Embedder))
-	}
-	engineFor := func() *core.Engine { return core.New(cfg.Model, baseOpts...) }
-	if !cfg.Isolated {
-		layer := cfg.Exec
-		if layer == nil {
-			layer = workflow.NewExecLayer()
-		}
-		registry := cfg.Registry
-		if registry == nil {
-			registry = embed.NewRegistry()
-		}
-		opts := append(append([]core.Option(nil), baseOpts...),
-			core.WithExecutionLayer(layer), core.WithIndexRegistry(registry))
-		if cfg.Batch > 1 {
-			opts = append(opts, core.WithBatching(cfg.Batch))
-		}
-		shared := core.New(cfg.Model, opts...)
-		engineFor = func() *core.Engine { return shared }
+	rt := cfg.runtime()
+	state := &runState{scalars: make(map[string]string), details: make(map[string]string)}
+
+	outs := make(map[string]*streamOut, len(p.stages)+1)
+	root := &streamOut{table: source, done: make(chan struct{})}
+	close(root.done)
+	outs["source"] = root
+	for _, st := range p.stages {
+		outs[st.Name()] = &streamOut{done: make(chan struct{})}
 	}
 
-	state := &runState{scalars: make(map[string]string), details: make(map[string]string)}
-	promises := make(map[string]*promise, len(p.stages)+1)
-	root := &promise{done: make(chan struct{}), table: source}
-	close(root.done)
-	promises["source"] = root
+	// Wire one bounded channel per main-input edge. Dynamic side-table
+	// consumers are not subscribers: they read the producer's collected
+	// table after its done closes.
+	chunk := cfg.chunkSize()
+	inputs := make(map[string]chan dataset.Record, len(p.stages))
 	for _, st := range p.stages {
-		promises[st.Name()] = &promise{done: make(chan struct{})}
+		ch := make(chan dataset.Record, chunk)
+		inputs[st.Name()] = ch
+		up := outs[st.Input()]
+		up.subs = append(up.subs, ch)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, st := range p.stages {
+
+	// Feed the materialized source table to its subscribers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer root.closeSubs()
+		for _, r := range root.table {
+			if !root.send(ctx, r) {
+				return
+			}
+		}
+	}()
+
+	for i, st := range p.stages {
 		wg.Add(1)
-		go func(st Stage) {
+		go func(st Stage, spec StageSpec) {
 			defer wg.Done()
-			out := promises[st.Name()]
-			defer close(out.done)
-			in := promises[st.Input()]
-			select {
-			case <-in.done:
-			case <-ctx.Done():
-				out.err = ctx.Err()
-				return
-			}
-			if in.err != nil {
-				out.err = in.err // propagate the root cause, don't re-wrap per hop
-				return
-			}
-			if len(in.table) == 0 {
-				// An upstream filter emptied the table; downstream work is
-				// vacuous, not an error. A count over nothing still has an
-				// answer — 0 — and must report it regardless of where the
-				// optimizer placed the emptying filter.
-				state.mu.Lock()
-				if st.Kind() == KindCount {
-					state.scalars[st.Name()] = "0"
-					state.details[st.Name()] = "0 of 0 (empty input)"
-				} else {
-					state.details[st.Name()] = "skipped: empty input"
-				}
-				state.mu.Unlock()
-				return
-			}
-			env := &Env{Engine: engineFor(), Budget: budget, Tables: tables, run: state}
-			table, err := st.Run(workflow.TagStage(ctx, st.Name()), env, in.table)
-			if err != nil {
-				out.err = fmt.Errorf("stage %q: %w", st.Name(), err)
-				cancel()
-				return
-			}
-			out.table = table
-		}(st)
+			p.runStage(ctx, cancel, cfg, rt, state, outs, inputs[st.Name()], tables, st, spec)
+		}(st, p.specs[i])
 	}
 	wg.Wait()
 
@@ -212,7 +341,7 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 	// error the caller actually needs.
 	var cancelErr error
 	for _, st := range p.stages {
-		if err := promises[st.Name()].err; err != nil {
+		if err := outs[st.Name()].err; err != nil {
 			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 				return nil, err
 			}
@@ -224,26 +353,154 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 	if cancelErr != nil {
 		return nil, cancelErr
 	}
+	// An outer cancellation can end the source feeder (and with it every
+	// stream) without any stage recording an error — e.g. a stage whose
+	// in-flight chunk completed after the cancel sees only a closed
+	// channel. Never report such a truncated run as success.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
 
 	res := &Result{
 		Tables:  make(map[string][]dataset.Record, len(p.stages)),
 		Scalars: state.scalars,
 	}
+	if u := rt.attr.Usage(workflow.StageProbe); !u.IsZero() {
+		res.Stages = append(res.Stages, StageReport{
+			Name:   workflow.StageProbe,
+			Kind:   "probe",
+			Usage:  u,
+			Cost:   rt.attr.Cost(workflow.StageProbe),
+			Detail: "optimizer selectivity probes",
+		})
+	}
 	for _, st := range p.stages {
-		pr := promises[st.Name()]
-		res.Tables[st.Name()] = pr.table
+		out := outs[st.Name()]
+		res.Tables[st.Name()] = out.table
 		res.Stages = append(res.Stages, StageReport{
 			Name:   st.Name(),
 			Kind:   st.Kind(),
-			In:     len(promises[st.Input()].table),
-			Out:    len(pr.table),
-			Usage:  attr.Usage(st.Name()),
-			Cost:   attr.Cost(st.Name()),
+			In:     out.consumed,
+			Out:    len(out.table),
+			Usage:  rt.attr.Usage(st.Name()),
+			Cost:   rt.attr.Cost(st.Name()),
 			Detail: state.details[st.Name()],
 		})
 	}
-	res.Usage, res.Cost = attr.Total()
+	res.Usage, res.Cost = rt.attr.Total()
 	return res, nil
+}
+
+// runStage drives one stage goroutine: resolve the side table, consume
+// the input (streamed or drained), run the operator, and emit outputs.
+func (p *Pipeline) runStage(ctx context.Context, cancel context.CancelFunc, cfg ExecConfig, rt *execRuntime,
+	state *runState, outs map[string]*streamOut, in <-chan dataset.Record, tables map[string][]dataset.Record,
+	st Stage, spec StageSpec) {
+	out := outs[st.Name()]
+	defer close(out.done)
+	defer out.closeSubs()
+	up := outs[st.Input()]
+
+	// fail records a propagated (or cancellation) error without re-wrap;
+	// abort records this stage's own failure and cancels the run.
+	fail := func(err error) { out.err = err }
+	abort := func(err error) {
+		out.err = fmt.Errorf("stage %q: %w", st.Name(), err)
+		cancel()
+	}
+	skipEmpty := func() {
+		state.mu.Lock()
+		defer state.mu.Unlock()
+		if st.Kind() == KindCount {
+			// A count over nothing still has an answer — 0 — and must
+			// report it regardless of where the optimizer placed the
+			// emptying filter.
+			state.scalars[st.Name()] = "0"
+			state.details[st.Name()] = "0 of 0 (empty input)"
+		} else {
+			state.details[st.Name()] = "skipped: empty input"
+		}
+	}
+
+	env := &Env{Engine: rt.engineFor(), Budget: rt.budget, Tables: tables, chunk: cfg.chunkSize(), run: state}
+
+	// A dynamic side input (Side naming an earlier stage) forces barrier
+	// mode: the operator needs the side table whole, and we must keep
+	// consuming our own input while the side stage finishes — otherwise a
+	// shared ancestor could deadlock on backpressure. Draining first is
+	// exactly that, so the order is: drain main input, await side, run.
+	dynamicSide := sideStage(p.specs, spec) >= 0
+
+	streamer, ok := st.(Streamer)
+	if ok && streamer.CanStream() && !cfg.Materialized && !dynamicSide {
+		emit := func(r dataset.Record) error {
+			out.table = append(out.table, r)
+			if !out.send(ctx, r) {
+				return ctx.Err()
+			}
+			return nil
+		}
+		consumed, err := streamer.RunStream(workflow.TagStage(ctx, st.Name()), env, in, emit)
+		out.consumed = consumed
+		if err != nil {
+			abort(err)
+			return
+		}
+		// The stream may have ended because the producer failed; the
+		// upstream error, not our partial output, is the truth then.
+		<-up.done
+		if up.err != nil {
+			fail(up.err)
+			return
+		}
+		if consumed == 0 {
+			skipEmpty()
+		}
+		return
+	}
+
+	recs, err := drain(ctx, in, up)
+	if err != nil {
+		fail(err)
+		return
+	}
+	out.consumed = len(recs)
+	if dynamicSide {
+		side := outs[spec.Side]
+		select {
+		case <-side.done:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			return
+		}
+		if side.err != nil {
+			fail(side.err)
+			return
+		}
+		// Overlay the materialized stage output without mutating the
+		// shared static-table map.
+		overlay := make(map[string][]dataset.Record, len(tables)+1)
+		for k, v := range tables {
+			overlay[k] = v
+		}
+		overlay[spec.Side] = side.table
+		env.Tables = overlay
+	}
+	if len(recs) == 0 {
+		skipEmpty()
+		return
+	}
+	table, err := st.Run(workflow.TagStage(ctx, st.Name()), env, recs)
+	if err != nil {
+		abort(err)
+		return
+	}
+	out.table = table
+	for _, r := range table {
+		if !out.send(ctx, r) {
+			return
+		}
+	}
 }
 
 // FormatResult renders a run report as a text table: one row per stage

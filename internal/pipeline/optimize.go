@@ -30,6 +30,17 @@ func Optimize(spec Spec) (Spec, []string, error) {
 	if err != nil {
 		return Spec{}, nil, err
 	}
+	specs, log := pushdown(specs)
+	out := spec
+	out.Stages = specs
+	return out, log, nil
+}
+
+// pushdown runs the filter-pushdown rewrite loop over normalized specs
+// and returns the rewritten plan plus the rewrite trace. Both Optimize
+// (hint-driven) and OptimizeProbed (measurement-driven) end here; they
+// differ only in where each filter's selectivity came from.
+func pushdown(specs []StageSpec) ([]StageSpec, []string) {
 	var log []string
 	for changed := true; changed; {
 		changed = false
@@ -44,11 +55,15 @@ func Optimize(spec Spec) (Spec, []string, error) {
 				continue
 			}
 			// Swap the edge: F consumes S's old input, S consumes F, and
-			// F's consumers move to S (whose output now equals F's old
-			// output by the commutation rule).
+			// F's consumers — main-input and side-table alike — move to S
+			// (whose output now equals F's old output by the commutation
+			// rule).
 			for k := range specs {
 				if specs[k].Input == f.Name {
 					specs[k].Input = s.Name
+				}
+				if specs[k].Side == f.Name {
+					specs[k].Side = s.Name
 				}
 			}
 			specs[i].Input = s.Input
@@ -59,9 +74,7 @@ func Optimize(spec Spec) (Spec, []string, error) {
 			break
 		}
 	}
-	out := spec
-	out.Stages = specs
-	return out, log, nil
+	return specs, log
 }
 
 func indexOf(specs []StageSpec, name string) int {
@@ -175,8 +188,9 @@ func commutesWithFilter(f, s StageSpec) bool {
 }
 
 // reorderTopo restores the inputs-before-consumers invariant after an
-// edge swap, keeping the original relative order where dependencies
-// allow (stable Kahn by current position).
+// edge swap — counting dynamic side-table references as edges too —
+// keeping the original relative order where dependencies allow (stable
+// Kahn by current position).
 func reorderTopo(specs []StageSpec) []StageSpec {
 	placed := map[string]bool{"source": true}
 	out := make([]StageSpec, 0, len(specs))
@@ -185,7 +199,8 @@ func reorderTopo(specs []StageSpec) []StageSpec {
 		progressed := false
 		rest := remaining[:0]
 		for _, s := range remaining {
-			if placed[s.Input] {
+			sideReady := sideStage(specs, s) < 0 || placed[s.Side]
+			if placed[s.Input] && sideReady {
 				out = append(out, s)
 				placed[s.Name] = true
 				progressed = true

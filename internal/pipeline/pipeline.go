@@ -12,15 +12,28 @@
 // optimized plan returns the same temperature-0 results as the user's
 // order while spending strictly less.
 //
-// Run executes the DAG: independent stages run concurrently, every stage
-// shares one engine (one execution layer, one embedding-index registry,
-// one budget), and each stage's context is tagged so the shared budget
-// breaks down into per-stage usage and dollar attribution. See
-// docs/PIPELINE.md.
+// Run executes the DAG as a streaming dataflow: stages exchange records
+// over bounded channels, so a downstream per-record stage (filter,
+// direct categorize, fixed-strategy impute, nested-loop join) starts
+// while its upstream is still emitting, while barrier stages
+// (sort/max/count, resolve, planner-driven impute) drain their input
+// first. A join's right side or an impute's example pool may name an
+// earlier stage instead of a static table; the executor materializes
+// that stage's stream once and fans it out. Every stage shares one
+// engine (one execution layer, one embedding-index registry, one
+// budget), and each stage's context is tagged so the shared budget
+// breaks down into per-stage usage and dollar attribution.
+//
+// Optimize rewrites using spec hints alone; OptimizeProbed additionally
+// measures each hintless filter's selectivity on a deterministic record
+// sample before ordering (probe spend attributed under
+// workflow.StageProbe). See docs/PIPELINE.md and docs/OPTIMIZER.md.
 package pipeline
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"repro/internal/dataset"
 )
@@ -76,8 +89,10 @@ type StageSpec struct {
 	OutField string `json:"out_field,omitempty"`
 	// TargetField is the attribute to impute.
 	TargetField string `json:"target_field,omitempty"`
-	// Side names the static side table (impute training records, default
-	// "train"; join right side, required).
+	// Side names the side table (impute training records, default "train";
+	// join right side, required). It may name either a static table passed
+	// to Run or an earlier stage, whose output table the executor
+	// materializes once and fans out to every side consumer.
 	Side string `json:"side,omitempty"`
 	// Neighbors is the k-NN width (impute).
 	Neighbors int `json:"neighbors,omitempty"`
@@ -91,8 +106,11 @@ type StageSpec struct {
 	// member of a duplicate group together, which is what licenses pushing
 	// it ahead of the quadratic dedupe.
 	InvariantFields []string `json:"invariant_fields,omitempty"`
-	// Selectivity estimates the filter's keep fraction in (0, 1]; the
-	// optimizer orders adjacent filters most-selective-first (default 0.5).
+	// Selectivity estimates the filter's keep fraction, strictly in
+	// (0, 1]; the optimizer orders adjacent filters most-selective-first.
+	// Zero means no hint: Optimize assumes 0.5, while OptimizeProbed
+	// measures the real fraction on a record sample. Any other value
+	// outside (0, 1] is rejected at Compile time.
 	Selectivity float64 `json:"selectivity,omitempty"`
 	// BlockDistance is the embedding blocking radius (resolve
 	// blocked-pairwise; join candidate cutoff).
@@ -133,12 +151,19 @@ func normalize(stages []StageSpec) ([]StageSpec, error) {
 		return nil, fmt.Errorf("pipeline: no stages")
 	}
 	out := append([]StageSpec(nil), stages...)
+	all := make(map[string]bool, len(out))
+	for _, s := range out {
+		all[s.Name] = true
+	}
 	seen := map[string]bool{"source": true}
 	prev := "source"
 	for i := range out {
 		s := &out[i]
 		if s.Name == "" || s.Name == "source" {
 			return nil, fmt.Errorf("pipeline: stage %d needs a name other than %q", i, s.Name)
+		}
+		if strings.HasPrefix(s.Name, "__") {
+			return nil, fmt.Errorf("pipeline: stage name %q is reserved (\"__\" prefixes label executor internals such as selectivity probes)", s.Name)
 		}
 		if seen[s.Name] {
 			return nil, fmt.Errorf("pipeline: duplicate stage name %q", s.Name)
@@ -148,6 +173,9 @@ func normalize(stages []StageSpec) ([]StageSpec, error) {
 		}
 		if !seen[s.Input] {
 			return nil, fmt.Errorf("pipeline: stage %q consumes %q, which is not source or an earlier stage", s.Name, s.Input)
+		}
+		if s.Side != "" && all[s.Side] && !seen[s.Side] {
+			return nil, fmt.Errorf("pipeline: stage %q uses side %q, which names a stage that is not earlier in the spec (side inputs must be earlier stages or static tables)", s.Name, s.Side)
 		}
 		if err := validateKind(*s); err != nil {
 			return nil, err
@@ -188,21 +216,40 @@ func validateKind(s StageSpec) error {
 	default:
 		return bad("unknown kind %q", s.Kind)
 	}
-	if s.Selectivity < 0 || s.Selectivity > 1 {
-		return bad("selectivity %v outside (0, 1]", s.Selectivity)
+	// A selectivity hint of exactly 0 means "unset" (Optimize assumes 0.5;
+	// OptimizeProbed measures). Anything else must be a real keep fraction:
+	// the old check let NaN through — NaN compares false against every
+	// bound — and the runtime default then silently swallowed it.
+	switch {
+	case s.Selectivity == 0:
+	case s.Kind != KindFilter:
+		return bad("selectivity %v: the hint only applies to filter stages", s.Selectivity)
+	case math.IsNaN(s.Selectivity) || s.Selectivity < 0 || s.Selectivity > 1:
+		return bad("selectivity %v outside (0, 1]; omit the field to let the optimizer assume 0.5 or measure it", s.Selectivity)
 	}
 	return nil
 }
 
-// consumers returns the names of stages consuming the named output.
+// consumers returns the names of stages consuming the named output,
+// either as their main input or as a dynamic side table. Both uses need
+// the stage's complete output, so both block filter pushdown across it.
 func consumers(specs []StageSpec, name string) []string {
 	var out []string
 	for _, s := range specs {
-		if s.Input == name {
+		if s.Input == name || s.Side == name {
 			out = append(out, s.Name)
 		}
 	}
 	return out
+}
+
+// sideStage returns the index of the stage the spec's Side names, or -1
+// when the side is a static table (or unset).
+func sideStage(specs []StageSpec, s StageSpec) int {
+	if s.Side == "" {
+		return -1
+	}
+	return indexOf(specs, s.Side)
 }
 
 // SourceSpec names a built-in dataset for declctl spec files.

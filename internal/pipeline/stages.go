@@ -26,6 +26,51 @@ type Stage interface {
 	Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error)
 }
 
+// Streamer is the optional streaming face of a Stage: a stage that can
+// process records in bounded micro-batches (Env's chunk size), emitting
+// outputs while its upstream is still producing. The executor streams a
+// stage only when CanStream reports true — and never in Materialized
+// mode or when the stage takes a dynamic side input.
+type Streamer interface {
+	// CanStream reports whether the configured strategy keeps each
+	// record's outcome independent of which other records share a chunk —
+	// the property that makes chunked execution return byte-identical
+	// temperature-0 results to a whole-table run.
+	CanStream() bool
+	// RunStream consumes records from in until it closes, emits output
+	// records via emit (which blocks on downstream backpressure), and
+	// returns how many input records it consumed.
+	RunStream(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error) (int, error)
+}
+
+// runChunked drives a streaming stage's common loop: assemble bounded
+// micro-batches from in, hand each to process, and emit its outputs.
+func runChunked(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error,
+	process func(ctx context.Context, chunk []dataset.Record) ([]dataset.Record, error)) (int, error) {
+	consumed := 0
+	for {
+		chunk, more, err := nextChunk(ctx, in, env.chunk)
+		if err != nil {
+			return consumed, err
+		}
+		consumed += len(chunk)
+		if len(chunk) > 0 {
+			out, err := process(ctx, chunk)
+			if err != nil {
+				return consumed, err
+			}
+			for _, r := range out {
+				if err := emit(r); err != nil {
+					return consumed, err
+				}
+			}
+		}
+		if !more {
+			return consumed, nil
+		}
+	}
+}
+
 // baseStage carries the shared identity fields.
 type baseStage struct{ spec StageSpec }
 
@@ -85,14 +130,16 @@ func entities(in []dataset.Record, field string) []core.Entity {
 
 type filterStage struct{ baseStage }
 
-func (s filterStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+// filter runs the predicate over one table (or chunk) and returns the
+// surviving records plus the model samples spent.
+func (s filterStage) filter(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, int, error) {
 	res, err := env.Engine.Filter(ctx, core.FilterRequest{
 		Items:     renderAll(in, s.spec.Field),
 		Predicate: s.spec.Predicate,
 		Strategy:  core.FilterStrategy(s.spec.Strategy),
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var out []dataset.Record
 	for i, keep := range res.Keep {
@@ -100,20 +147,53 @@ func (s filterStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]
 			out = append(out, in[i])
 		}
 	}
-	env.detail(s.Name(), fmt.Sprintf("kept %d/%d (%d asks)", len(out), len(in), res.Asks))
+	return out, res.Asks, nil
+}
+
+func (s filterStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	out, asks, err := s.filter(ctx, env, in)
+	if err != nil {
+		return nil, err
+	}
+	env.detail(s.Name(), fmt.Sprintf("kept %d/%d (%d asks)", len(out), len(in), asks))
 	return out, nil
+}
+
+// CanStream implements Streamer: every filter policy decides per item.
+func (s filterStage) CanStream() bool { return true }
+
+func (s filterStage) RunStream(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error) (int, error) {
+	var kept, asks int
+	consumed, err := runChunked(ctx, env, in, emit, func(ctx context.Context, chunk []dataset.Record) ([]dataset.Record, error) {
+		out, a, err := s.filter(ctx, env, chunk)
+		if err != nil {
+			return nil, err
+		}
+		kept += len(out)
+		asks += a
+		return out, nil
+	})
+	if err != nil {
+		return consumed, err
+	}
+	if consumed > 0 {
+		env.detail(s.Name(), fmt.Sprintf("kept %d/%d (%d asks)", kept, consumed, asks))
+	}
+	return consumed, nil
 }
 
 type categorizeStage struct{ baseStage }
 
-func (s categorizeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+// categorize assigns one table (or chunk) and returns the annotated
+// records plus the category count the operator reported.
+func (s categorizeStage) categorize(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, int, error) {
 	res, err := env.Engine.Categorize(ctx, core.CategorizeRequest{
 		Items:      renderAll(in, s.spec.Field),
 		Categories: s.spec.Categories,
 		Strategy:   core.CategorizeStrategy(s.spec.Strategy),
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	field := s.spec.OutField
 	if field == "" {
@@ -124,8 +204,42 @@ func (s categorizeStage) Run(ctx context.Context, env *Env, in []dataset.Record)
 		out[i] = r.Clone()
 		out[i].Set(field, res.Assignments[i])
 	}
-	env.detail(s.Name(), fmt.Sprintf("%d categories", len(res.Categories)))
+	return out, len(res.Categories), nil
+}
+
+func (s categorizeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	out, categories, err := s.categorize(ctx, env, in)
+	if err != nil {
+		return nil, err
+	}
+	env.detail(s.Name(), fmt.Sprintf("%d categories", categories))
 	return out, nil
+}
+
+// CanStream implements Streamer: direct assignment against a closed
+// category set is per-record; two-phase discovers the set from the whole
+// table, so chunk membership would change it.
+func (s categorizeStage) CanStream() bool {
+	return s.spec.Strategy != string(core.CategorizeTwoPhase)
+}
+
+func (s categorizeStage) RunStream(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error) (int, error) {
+	categories := 0
+	consumed, err := runChunked(ctx, env, in, emit, func(ctx context.Context, chunk []dataset.Record) ([]dataset.Record, error) {
+		out, c, err := s.categorize(ctx, env, chunk)
+		if err != nil {
+			return nil, err
+		}
+		categories = c
+		return out, nil
+	})
+	if err != nil {
+		return consumed, err
+	}
+	if consumed > 0 {
+		env.detail(s.Name(), fmt.Sprintf("%d categories", categories))
+	}
+	return consumed, nil
 }
 
 // resolveStage deduplicates the table: records the engine judges to refer
@@ -218,6 +332,17 @@ func (s imputeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]
 		strategy = plan.Chosen
 		note = fmt.Sprintf("; planner chose %q (%s)", plan.Chosen, plan.Reason)
 	}
+	out, llmCalls, knnDecided, err := s.impute(ctx, env, in, train, strategy)
+	if err != nil {
+		return nil, err
+	}
+	env.detail(s.Name(), fmt.Sprintf("%d by LLM, %d by k-NN%s", llmCalls, knnDecided, note))
+	return out, nil
+}
+
+// impute fills the target field for one table (or chunk) of query
+// records against the resolved training table.
+func (s imputeStage) impute(ctx context.Context, env *Env, in, train []dataset.Record, strategy string) ([]dataset.Record, int, int, error) {
 	res, err := env.Engine.Impute(ctx, core.ImputeRequest{
 		Train:       train,
 		Queries:     in,
@@ -227,15 +352,48 @@ func (s imputeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]
 		Examples:    s.spec.Examples,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	out := make([]dataset.Record, len(in))
 	for i, r := range in {
 		out[i] = r.Clone()
 		out[i].Set(s.spec.TargetField, res.Values[i])
 	}
-	env.detail(s.Name(), fmt.Sprintf("%d by LLM, %d by k-NN%s", res.LLMCalls, res.KNNDecided, note))
-	return out, nil
+	return out, res.LLMCalls, res.KNNDecided, nil
+}
+
+// CanStream implements Streamer: a fixed strategy answers per query
+// record from the static training table. Strategy "auto" is a barrier —
+// the planner's projected costs scale with the query-table size, so it
+// must see the whole table (the same reason it blocks filter pushdown).
+func (s imputeStage) CanStream() bool { return s.spec.Strategy != "auto" }
+
+func (s imputeStage) RunStream(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error) (int, error) {
+	side := s.spec.Side
+	if side == "" {
+		side = "train"
+	}
+	train := env.Tables[side]
+	if len(train) == 0 {
+		return 0, fmt.Errorf("stage %q: side table %q is empty or missing", s.Name(), side)
+	}
+	var llmCalls, knnDecided int
+	consumed, err := runChunked(ctx, env, in, emit, func(ctx context.Context, chunk []dataset.Record) ([]dataset.Record, error) {
+		out, llm, knn, err := s.impute(ctx, env, chunk, train, s.spec.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		llmCalls += llm
+		knnDecided += knn
+		return out, nil
+	})
+	if err != nil {
+		return consumed, err
+	}
+	if consumed > 0 {
+		env.detail(s.Name(), fmt.Sprintf("%d by LLM, %d by k-NN", llmCalls, knnDecided))
+	}
+	return consumed, nil
 }
 
 // joinStage fuzzy-joins the input table (left) against a static side
@@ -243,11 +401,12 @@ func (s imputeStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]
 // record annotated with the matching right ID.
 type joinStage struct{ baseStage }
 
-func (s joinStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
-	side := env.Tables[s.spec.Side]
-	if len(side) == 0 {
-		return nil, fmt.Errorf("stage %q: side table %q is empty or missing", s.Name(), s.spec.Side)
-	}
+// join matches one table (or chunk) of left records against the resolved
+// right side and returns annotated matches plus the comparison stats.
+// Output rows are ordered by the left record's input position (then
+// right ID) — not by the engine's global LeftID sort — so a chunked run
+// concatenates to exactly the whole-table result.
+func (s joinStage) join(ctx context.Context, env *Env, in, side []dataset.Record) ([]dataset.Record, core.JoinResult, error) {
 	res, err := env.Engine.Join(ctx, core.JoinRequest{
 		Left:              entities(in, s.spec.Field),
 		Right:             entities(side, s.spec.Field),
@@ -255,25 +414,81 @@ func (s joinStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]da
 		CandidateDistance: s.spec.BlockDistance,
 	})
 	if err != nil {
-		return nil, err
+		return nil, core.JoinResult{}, err
 	}
 	byID := make(map[string]dataset.Record, len(in))
-	for _, r := range in {
+	pos := make(map[string]int, len(in))
+	for i, r := range in {
 		byID[r.ID] = r
+		pos[r.ID] = i
 	}
 	field := s.spec.OutField
 	if field == "" {
 		field = "match"
 	}
-	out := make([]dataset.Record, 0, len(res.Matches))
-	for _, m := range res.Matches {
+	matches := append([]core.JoinPair(nil), res.Matches...)
+	sort.Slice(matches, func(i, j int) bool {
+		if pos[matches[i].LeftID] != pos[matches[j].LeftID] {
+			return pos[matches[i].LeftID] < pos[matches[j].LeftID]
+		}
+		return matches[i].RightID < matches[j].RightID
+	})
+	out := make([]dataset.Record, 0, len(matches))
+	for _, m := range matches {
 		r := byID[m.LeftID].Clone()
 		r.Set(field, m.RightID)
 		out = append(out, r)
 	}
+	return out, res, nil
+}
+
+func (s joinStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
+	side := env.Tables[s.spec.Side]
+	if len(side) == 0 {
+		return nil, fmt.Errorf("stage %q: side table %q is empty or missing", s.Name(), s.spec.Side)
+	}
+	out, res, err := s.join(ctx, env, in, side)
+	if err != nil {
+		return nil, err
+	}
 	env.detail(s.Name(), fmt.Sprintf("%d matches (%d comparisons, %d skipped by closure, %d by distance)",
 		len(res.Matches), res.LLMComparisons, res.SkippedByTransitivity, res.SkippedByDistance))
 	return out, nil
+}
+
+// CanStream implements Streamer: nested-loop matches each left record
+// against the static right side independently. The transitive strategy
+// reuses closure evidence across left records, so chunking would change
+// which comparisons it skips.
+func (s joinStage) CanStream() bool {
+	return s.spec.Strategy == string(core.JoinNestedLoop)
+}
+
+func (s joinStage) RunStream(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error) (int, error) {
+	side := env.Tables[s.spec.Side]
+	if len(side) == 0 {
+		return 0, fmt.Errorf("stage %q: side table %q is empty or missing", s.Name(), s.spec.Side)
+	}
+	var matches, comparisons, byClosure, byDistance int
+	consumed, err := runChunked(ctx, env, in, emit, func(ctx context.Context, chunk []dataset.Record) ([]dataset.Record, error) {
+		out, res, err := s.join(ctx, env, chunk, side)
+		if err != nil {
+			return nil, err
+		}
+		matches += len(res.Matches)
+		comparisons += res.LLMComparisons
+		byClosure += res.SkippedByTransitivity
+		byDistance += res.SkippedByDistance
+		return out, nil
+	})
+	if err != nil {
+		return consumed, err
+	}
+	if consumed > 0 {
+		env.detail(s.Name(), fmt.Sprintf("%d matches (%d comparisons, %d skipped by closure, %d by distance)",
+			matches, comparisons, byClosure, byDistance))
+	}
+	return consumed, nil
 }
 
 type sortStage struct{ baseStage }

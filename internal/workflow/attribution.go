@@ -9,6 +9,16 @@ import (
 	"repro/internal/token"
 )
 
+// StageProbe is the reserved attribution label for the pipeline
+// optimizer's selectivity probes. Probe calls run before the pipeline's
+// stages execute, so they cannot borrow a stage's label; tagging them
+// with their own reserved label keeps the ledger's invariant — every
+// upstream call attributed somewhere, the per-label sum equal to the
+// budget's total spend — while making probe overhead visible as its own
+// line in the run report. Stage names beginning with "__" are rejected at
+// Compile time so user stages can never collide with reserved labels.
+const StageProbe = "__probe"
+
 // stageTagKey is the context key carrying the current pipeline stage label.
 type stageTagKey struct{}
 

@@ -1,7 +1,13 @@
 // Package workflow provides the execution machinery under the declarative
 // engine: monetary/token budget enforcement (the paper's "within the
-// specified monetary budget"), response caching, bounded-concurrency
-// fan-out, and per-model usage tracing.
+// specified monetary budget"), the shared execution layer (sharded
+// response cache plus in-flight request coalescing, see ExecLayer),
+// unit-task batching into envelope prompts (BatchingModel),
+// bounded-concurrency fan-out (Map), client-side rate limiting,
+// per-model usage tracing (Trace), and per-stage usage attribution
+// (Attribution, TagStage) that lets one shared budget be broken down by
+// pipeline stage — including the optimizer's selectivity probes under
+// the reserved StageProbe label. See docs/EXECUTION.md.
 package workflow
 
 import (
