@@ -58,9 +58,14 @@ func main() {
 	plNaive := sub.Bool("naive", false, "run the pipeline unoptimized with isolated per-stage engines")
 	plProbe := sub.Int("probe", 0, "sample size for measured filter selectivity in pipeline (0 = trust spec hints)")
 	plMaterialized := sub.Bool("materialized", false, "disable record streaming between pipeline stages")
-	plChunk := sub.Int("chunk", 0, "records per streaming micro-batch for pipeline (0 = max(batch, 8))")
+	plChunk := sub.Int("chunk", 0, "records per streaming micro-batch for pipeline (0 = max(batch, 8); forces a fixed width)")
+	plAdaptive := sub.Bool("adaptive", false, "enable the adaptive runtime for pipeline: self-tuned chunk widths, side-input overlap, mid-run filter re-ordering")
+	plChunkMin := sub.Int("chunk-min", 0, "adaptive chunk width floor for pipeline (0 = 1)")
+	plChunkMax := sub.Int("chunk-max", 0, "adaptive chunk width ceiling for pipeline (0 = 64)")
 	plRecords := sub.Int("records", 24, "base source records for pipeline-study")
 	plDup := sub.Float64("dup", 0.4, "duplicated fraction for pipeline-study")
+	benchJSON := sub.String("json", "", "write machine-readable bench results to this file (e.g. BENCH_PR5.json)")
+	benchIters := sub.Int("iters", 3, "iterations per bench configuration")
 	sub.Parse(flag.Args()[1:])
 
 	ctx := context.Background()
@@ -241,6 +246,9 @@ func main() {
 			Batch:        *batch,
 			Parallelism:  16,
 			Chunk:        *plChunk,
+			Adaptive:     *plAdaptive,
+			ChunkMin:     *plChunkMin,
+			ChunkMax:     *plChunkMax,
 			Materialized: *plMaterialized || *plNaive,
 			Isolated:     *plNaive,
 			// Persistent layer and ledger so probe work is re-served from
@@ -292,6 +300,20 @@ func main() {
 		fmt.Print(experiments.FormatPipelineStudy(res))
 		return nil
 	}
+	bench := func() error {
+		report, err := experiments.PipelineBench(ctx, *benchIters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBenchReport(report))
+		if *benchJSON != "" {
+			if err := experiments.WriteBenchReport(report, *benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+		return nil
+	}
 
 	switch cmd {
 	case "table1":
@@ -328,6 +350,8 @@ func main() {
 		run("Pipeline: optimized operator DAG", runPipeline)
 	case "pipeline-study":
 		run("Pipeline study: naive sequential vs optimized DAG", pipelineStudy)
+	case "bench":
+		run(fmt.Sprintf("Pipeline bench: %d iterations per configuration", *benchIters), bench)
 	case "all":
 		run("Table 1: sorting 20 flavours", table1)
 		run("Table 2: sorting 100 words (sort then insert)", table2)
@@ -377,11 +401,15 @@ commands:
                   optimizer, record streaming, shared engine, and per-stage
                   attribution (-spec file.json -model M -batch K -naive
                   -probe K measures hintless filter selectivity on a sample,
-                  -materialized disables streaming, -chunk N sets the
-                  micro-batch width)
-  pipeline-study  naive sequential operators vs the optimized pipeline,
-                  materialized and streaming+probed, on one workload
-                  (-records N -dup F -batch K)
+                  -materialized disables streaming, -chunk N pins the
+                  micro-batch width, -adaptive enables the self-tuning
+                  runtime with -chunk-min/-chunk-max bounds)
+  pipeline-study  naive sequential operators vs the optimized pipeline —
+                  materialized, streaming+probed, and adaptive — plus the
+                  side-input overlap scenario (-records N -dup F -batch K)
+  bench           time the pipeline benchmark configurations and optionally
+                  write a machine-readable perf baseline
+                  (-iters N -json BENCH_PR5.json)
   all             run everything
 `)
 }

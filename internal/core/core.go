@@ -157,7 +157,14 @@ func (e *Engine) sessionWith(batchable bool) *session {
 		m = workflow.NewAttributing(m, e.attr)
 	}
 	if batchable && e.batch > 1 {
-		m = workflow.NewBatching(m, workflow.BatchOptions{MaxBatch: e.batch})
+		opts := workflow.BatchOptions{MaxBatch: e.batch}
+		if e.exec != nil {
+			// The shared layer aggregates envelope and solo-retry counts
+			// across every per-session batcher, so ExecLayer.Stats reports
+			// batching alongside cache hits and coalescing.
+			opts.Observer = e.exec
+		}
+		m = workflow.NewBatching(m, opts)
 	}
 	switch {
 	case e.exec != nil:

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/pipeline"
+	"repro/internal/token"
+	"repro/internal/workflow"
+)
+
+// BenchRow is one pipeline benchmark configuration's machine-readable
+// record: wall clock per run plus the call, cache, and batching counters
+// that explain it. The counters cover exactly one cold run of the
+// workload whatever Iters was, so rows from reports generated with
+// different iteration counts diff cleanly.
+type BenchRow struct {
+	Name           string `json:"name"`
+	Iters          int    `json:"iters"`
+	NsPerOp        int64  `json:"ns_per_op"`
+	UpstreamCalls  int    `json:"upstream_calls"`
+	UpstreamTokens int    `json:"upstream_tokens"`
+	CacheSize      int    `json:"cache_size"`
+	CacheHits      int    `json:"cache_hits"`
+	Coalesced      int    `json:"coalesced"`
+	Batches        int    `json:"batches"`
+	SoloRetries    int    `json:"solo_retries"`
+}
+
+// BenchReport is the versioned envelope declctl bench writes (e.g. to
+// BENCH_PR5.json), so future PRs can diff perf trajectories without
+// scraping go test -bench output. ns_per_op is machine-dependent; the
+// call and cache counters are deterministic for a given workload.
+type BenchReport struct {
+	Schema     string     `json:"schema"`
+	Go         string     `json:"go"`
+	Workload   string     `json:"workload"`
+	Benchmarks []BenchRow `json:"benchmarks"`
+}
+
+// benchWorkload mirrors internal/pipeline's benchmark shape: a
+// filter→dedupe→impute chain in the pessimal user order over the
+// restaurants dataset.
+func benchWorkload() (pipeline.Spec, map[string][]dataset.Record) {
+	spec := pipeline.Spec{Stages: []pipeline.StageSpec{
+		{Name: "entities", Kind: pipeline.KindResolve, Input: "source",
+			Strategy: "pairwise", InvariantFields: []string{"type"}},
+		{Name: "cheap", Kind: pipeline.KindFilter, Field: "type",
+			Predicate: "the restaurant serves seafood, steak, or pizza", Selectivity: 0.3},
+		{Name: "city", Kind: pipeline.KindImpute, TargetField: "city",
+			Side: "train", Strategy: "hybrid", Neighbors: 3},
+	}}
+	ds := dataset.GenerateRestaurants(40, 12, 7)
+	source := make([]dataset.Record, len(ds.Test))
+	for i, r := range ds.Test {
+		source[i] = r.WithoutField(ds.TargetField)
+	}
+	return spec, map[string][]dataset.Record{"source": source, "train": ds.Train}
+}
+
+// PipelineBench times the pipeline benchmark configurations iters times
+// each and returns the machine-readable report. Each configuration keeps
+// one execution layer across its iterations, so the cache counters show
+// the cross-run reuse a persistent service would see.
+func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	spec, tables := benchWorkload()
+	optimized, _, err := pipeline.Optimize(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	type config struct {
+		name string
+		spec pipeline.Spec
+		cfg  pipeline.ExecConfig
+	}
+	configs := []config{
+		{"pipeline-naive", spec, pipeline.ExecConfig{Parallelism: 16, Isolated: true, Materialized: true}},
+		{"pipeline-optimized-materialized", optimized, pipeline.ExecConfig{Parallelism: 16, Batch: 8, Materialized: true}},
+		{"pipeline-optimized-streaming", optimized, pipeline.ExecConfig{Parallelism: 16, Batch: 8}},
+		{"pipeline-adaptive", optimized, pipeline.ExecConfig{Parallelism: 16, Batch: 8, Adaptive: true}},
+	}
+
+	report := &BenchReport{
+		Schema:   "pipeline-bench/v1",
+		Go:       runtime.Version(),
+		Workload: "restaurants 12 source / 40 train, resolve->filter->impute",
+	}
+	for _, c := range configs {
+		p, err := pipeline.Compile(c.spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.name, err)
+		}
+		counting := llm.NewCounting(sim.NewNamed("sim-gpt-3.5-turbo"))
+		layer := workflow.NewExecLayer()
+		cfg := c.cfg
+		cfg.Model = counting
+		if !cfg.Isolated {
+			cfg.Exec = layer
+		}
+		// Counters are snapshotted after the first (cold) iteration so
+		// they describe one run of the workload and stay comparable across
+		// reports generated with different -iters; only ns/op averages
+		// over every iteration.
+		var total token.Usage
+		var stats workflow.ExecStats
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := p.Run(ctx, cfg, tables); err != nil {
+				return nil, fmt.Errorf("bench %s: %w", c.name, err)
+			}
+			if i == 0 {
+				total = counting.Total()
+				stats = layer.Stats()
+			}
+		}
+		elapsed := time.Since(start)
+		report.Benchmarks = append(report.Benchmarks, BenchRow{
+			Name:           c.name,
+			Iters:          iters,
+			NsPerOp:        elapsed.Nanoseconds() / int64(iters),
+			UpstreamCalls:  total.Calls,
+			UpstreamTokens: total.Total(),
+			CacheSize:      stats.CacheSize,
+			CacheHits:      stats.CacheHits,
+			Coalesced:      stats.Coalesced,
+			Batches:        stats.Batches,
+			SoloRetries:    stats.SoloRetries,
+		})
+	}
+	return report, nil
+}
+
+// WriteBenchReport marshals the report to path as indented JSON.
+func WriteBenchReport(report *BenchReport, path string) error {
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// FormatBenchReport renders the report as a text table.
+func FormatBenchReport(report *BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %12s %8s %8s %10s %8s %8s\n",
+		"Benchmark", "ns/op", "calls", "tokens", "cachehits", "batches", "retries")
+	for _, row := range report.Benchmarks {
+		fmt.Fprintf(&b, "%-34s %12d %8d %8d %10d %8d %8d\n",
+			row.Name, row.NsPerOp, row.UpstreamCalls, row.UpstreamTokens,
+			row.CacheHits, row.Batches, row.SoloRetries)
+	}
+	return b.String()
+}

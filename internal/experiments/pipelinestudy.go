@@ -35,6 +35,9 @@ type PipelineStudyConfig struct {
 	// ProbeSample caps the records the probing optimizer samples per
 	// hintless filter in the streaming configuration (default 8).
 	ProbeSample int
+	// OverlapLatency is the deterministic per-call delay of the side-input
+	// overlap scenario's latency model (default 15ms).
+	OverlapLatency time.Duration
 	// Seed drives the deterministic workload generator.
 	Seed int64
 }
@@ -71,10 +74,11 @@ type PipelineStudyRun struct {
 
 // PipelineStudyResult compares naive sequential operator invocation with
 // the optimized pipeline — materialized with the spec's selectivity
-// hints, and record-streaming with probed (measured) selectivities — on
-// one workload.
+// hints, record-streaming with probed (measured) selectivities, and the
+// adaptive runtime (self-tuned chunks, mid-run replanning) — on one
+// workload, plus a latency-modelled side-input overlap scenario.
 type PipelineStudyResult struct {
-	Naive, Optimized, Streaming PipelineStudyRun
+	Naive, Optimized, Streaming, Adaptive PipelineStudyRun
 	// Rewrites is the hint-trusting optimizer's log.
 	Rewrites []string
 	// ProbeTrace is the probing optimizer's log: hint-vs-measured lines
@@ -87,8 +91,31 @@ type PipelineStudyResult struct {
 	// StreamingIdentical reports the same equivalence between the
 	// materialized and the streaming+probed configurations.
 	StreamingIdentical bool
+	// AdaptiveIdentical reports the same equivalence between the
+	// streaming+probed and the adaptive configurations.
+	AdaptiveIdentical bool
 	// CallReduction is naive calls divided by optimized calls.
 	CallReduction float64
+	// Overlap is the side-input overlap scenario: the same join-with-
+	// dynamic-side workload timed drain-first versus adaptively
+	// overlapped, under a deterministic per-call latency model.
+	Overlap *OverlapScenarioResult
+}
+
+// OverlapScenarioResult times the side-input overlap scenario.
+type OverlapScenarioResult struct {
+	// DrainFirst is the pre-adaptive executor's wall clock: the join
+	// drains its whole main input, then waits for the side stage.
+	DrainFirst time.Duration
+	// Overlap is the adaptive executor's wall clock on the same workload:
+	// the main input buffers while the side stage materializes, and
+	// matching starts the moment the side table lands.
+	Overlap time.Duration
+	// Matches counts the join's output rows (equal in both runs).
+	Matches int
+	// Identical reports whether both runs produced byte-identical match
+	// tables.
+	Identical bool
 }
 
 // pipelineStudySpec is the study workload's user-order plan: dedupe the
@@ -264,25 +291,170 @@ func PipelineStudy(ctx context.Context, cfg PipelineStudyConfig) (*PipelineStudy
 	}
 	streaming.ProbeCalls = attr.Usage(workflow.StageProbe).Calls
 
+	// Adaptive configuration: the same probed plan under the adaptive
+	// runtime — micro-batch widths self-tune, and commutable filter runs
+	// may be re-ordered mid-run. Unit tasks are identical to the streaming
+	// configuration, and flooring the self-tuned width at the streaming
+	// run's fixed chunk makes "adaptive spends at most the streaming
+	// run's calls" structural rather than a timing accident: widths only
+	// grow from there, so batch envelopes pack at least as well even when
+	// a loaded machine's queue waits would otherwise shrink them.
+	adaModel, err := pipelineStudyModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	adaAttr := workflow.NewAttribution()
+	adaCfg := pipeline.ExecConfig{
+		Model: adaModel, Parallelism: cfg.Parallelism, Batch: cfg.Batch,
+		Exec: workflow.NewExecLayer(), Attribution: adaAttr, Adaptive: true,
+		ChunkMin: max(cfg.Batch, 8),
+	}
+	adaSpec, _, err := pipeline.OptimizeProbed(ctx, hintless, adaCfg, tables,
+		pipeline.ProbeOptions{Sample: cfg.ProbeSample})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline study: adaptive probed optimize: %w", err)
+	}
+	adaptive, adaRes, err := runOne("adaptive runtime", adaSpec, adaCfg, adaModel)
+	if err != nil {
+		return nil, err
+	}
+	adaptive.ProbeCalls = adaAttr.Usage(workflow.StageProbe).Calls
+
+	overlap, err := OverlapScenario(ctx, cfg.OverlapLatency)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline study: overlap scenario: %w", err)
+	}
+
 	last := spec.Stages[len(spec.Stages)-1].Name
 	identical := reflect.DeepEqual(naiveRes.Tables[last], optRes.Tables[last]) &&
 		reflect.DeepEqual(naiveRes.Scalars, optRes.Scalars)
 	streamingIdentical := reflect.DeepEqual(optRes.Tables[last], strRes.Tables[last]) &&
 		reflect.DeepEqual(optRes.Scalars, strRes.Scalars)
+	adaptiveIdentical := reflect.DeepEqual(strRes.Tables[last], adaRes.Tables[last]) &&
+		reflect.DeepEqual(strRes.Scalars, adaRes.Scalars)
 
 	out := &PipelineStudyResult{
 		Naive:              naive,
 		Optimized:          optimized,
 		Streaming:          streaming,
+		Adaptive:           adaptive,
 		Rewrites:           rewrites,
 		ProbeTrace:         probeTrace,
 		Identical:          identical,
 		StreamingIdentical: streamingIdentical,
+		AdaptiveIdentical:  adaptiveIdentical,
+		Overlap:            overlap,
 	}
 	if optimized.UpstreamCalls > 0 {
 		out.CallReduction = float64(naive.UpstreamCalls) / float64(optimized.UpstreamCalls)
 	}
 	return out, nil
+}
+
+// OverlapScenario times what side-input overlap buys on a workload built
+// to expose it: a slow filter feeds a nested-loop join whose right side
+// is another stage's output. Drain-first (the pre-adaptive executor)
+// makes the join consume its whole main input before matching anything;
+// the adaptive runtime buffers the main input while the side stage
+// materializes and starts matching the moment the side table lands, so
+// join work pipelines with the slow feed. Latency is deterministic — a
+// fixed per-call delay on the feed predicate and the join comparisons
+// (llm.WithLatency), with the side filter answering instantly — so the
+// structural gap, roughly 1.6x on this shape, dwarfs scheduling noise.
+func OverlapScenario(ctx context.Context, latency time.Duration) (*OverlapScenarioResult, error) {
+	if latency <= 0 {
+		latency = 15 * time.Millisecond
+	}
+	const n = 8
+	names := dataset.FlavorNames()
+	source := make([]dataset.Record, n)
+	for i := 0; i < n; i++ {
+		source[i] = dataset.Record{ID: fmt.Sprintf("flavor-%02d", i),
+			Fields: []dataset.Field{{Name: "name", Value: names[i]}}}
+	}
+	tables := map[string][]dataset.Record{"source": source}
+	// The pool keeps every fourth flavor, the feed the odd ones — disjoint
+	// ID sets, as the join requires; every cross comparison matches.
+	spec := pipeline.Spec{Stages: []pipeline.StageSpec{
+		{Name: "pool", Kind: pipeline.KindFilter, Field: "name", Predicate: "poolpred", Input: "source"},
+		{Name: "feed", Kind: pipeline.KindFilter, Field: "name", Predicate: "feedpred", Input: "source"},
+		{Name: "match", Kind: pipeline.KindJoin, Field: "name", Side: "pool",
+			Strategy: "nested-loop", Input: "feed"},
+	}}
+	newModel := func() llm.Model {
+		slow := llm.WithLatency(llm.Func{ModelName: "overlap-base",
+			Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+				return llm.Response{Text: "Yes", Model: "overlap-base",
+					Usage: token.Usage{PromptTokens: 1, CompletionTokens: 1, Calls: 1}}, nil
+			}}, latency)
+		return llm.Func{ModelName: "overlap", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+			if strings.Contains(req.Prompt, "satisfy the condition") {
+				idx := -1
+				for i := 0; i < n; i++ {
+					if strings.Contains(req.Prompt, names[i]) {
+						idx = i
+						break
+					}
+				}
+				if strings.Contains(req.Prompt, "poolpred") {
+					// The side filter is the fast path: no latency.
+					text := "No"
+					if idx >= 0 && idx%4 == 0 {
+						text = "Yes"
+					}
+					return llm.Response{Text: text, Model: "overlap",
+						Usage: token.Usage{PromptTokens: 1, CompletionTokens: 1, Calls: 1}}, nil
+				}
+				if idx >= 0 && idx%2 == 0 {
+					// Even flavors fail the feed predicate — after the
+					// deterministic delay, like any real call.
+					resp, err := slow.Complete(ctx, req)
+					if err == nil {
+						resp.Text = "No"
+					}
+					return resp, err
+				}
+			}
+			return slow.Complete(ctx, req)
+		}}
+	}
+	run := func(adaptive bool) (time.Duration, []dataset.Record, error) {
+		p, err := pipeline.Compile(spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Single-record chunks keep every stage's work serial so the
+		// latency model is legible; the adaptive run expresses that
+		// through the chunk bounds (leaving the inter-stage buffers at
+		// their default width, so the fast side filter is never throttled
+		// to the slow feed's pace by a one-slot channel).
+		cfg := pipeline.ExecConfig{Model: newModel(), Parallelism: 1}
+		if adaptive {
+			cfg.Adaptive, cfg.ChunkMin, cfg.ChunkMax = true, 1, 1
+		} else {
+			cfg.Chunk = 1
+		}
+		start := time.Now()
+		res, err := p.Run(ctx, cfg, tables)
+		if err != nil {
+			return 0, nil, err
+		}
+		return time.Since(start), res.Tables["match"], nil
+	}
+	drainClock, drainMatches, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	overlapClock, overlapMatches, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &OverlapScenarioResult{
+		DrainFirst: drainClock,
+		Overlap:    overlapClock,
+		Matches:    len(overlapMatches),
+		Identical:  reflect.DeepEqual(drainMatches, overlapMatches),
+	}, nil
 }
 
 // FormatPipelineStudy renders the study as a text report.
@@ -295,7 +467,7 @@ func FormatPipelineStudy(res *PipelineStudyResult) string {
 		fmt.Fprintf(&b, "trace: %s\n", line)
 	}
 	fmt.Fprintf(&b, "%-26s %10s %12s %10s %12s\n", "Configuration", "# Calls", "# Tokens", "Reduction", "Wall clock")
-	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized, res.Streaming} {
+	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized, res.Streaming, res.Adaptive} {
 		red := 1.0
 		if run.UpstreamCalls > 0 {
 			red = float64(res.Naive.UpstreamCalls) / float64(run.UpstreamCalls)
@@ -303,12 +475,17 @@ func FormatPipelineStudy(res *PipelineStudyResult) string {
 		fmt.Fprintf(&b, "%-26s %10d %12d %9.1fx %12s\n",
 			run.Config, run.UpstreamCalls, run.UpstreamTokens, red, run.WallClock.Round(time.Microsecond))
 	}
-	fmt.Fprintf(&b, "identical results: %v (streaming: %v), count scalar: %s\n",
-		res.Identical, res.StreamingIdentical, res.Optimized.Count)
+	fmt.Fprintf(&b, "identical results: %v (streaming: %v, adaptive: %v), count scalar: %s\n",
+		res.Identical, res.StreamingIdentical, res.AdaptiveIdentical, res.Optimized.Count)
 	fmt.Fprintf(&b, "probe calls: %d of the streaming run's %d (hint-trusting optimized run: 0)\n",
 		res.Streaming.ProbeCalls, res.Streaming.UpstreamCalls)
-	b.WriteString("per-stage attribution (streaming + probed):\n")
-	for _, s := range res.Streaming.Stages {
+	if res.Overlap != nil {
+		fmt.Fprintf(&b, "overlap scenario: drain-first %s vs adaptive overlap %s on %d matches (identical: %v)\n",
+			res.Overlap.DrainFirst.Round(time.Millisecond), res.Overlap.Overlap.Round(time.Millisecond),
+			res.Overlap.Matches, res.Overlap.Identical)
+	}
+	b.WriteString("per-stage attribution (adaptive runtime):\n")
+	for _, s := range res.Adaptive.Stages {
 		fmt.Fprintf(&b, "  %-10s %-10s in %3d out %3d  %6d calls %8d tokens  $%.4f  %s\n",
 			s.Name, s.Kind, s.In, s.Out, s.Usage.Calls, s.Usage.Total(), s.Cost, s.Detail)
 	}

@@ -66,10 +66,34 @@ func TestPipelineStudyPinned(t *testing.T) {
 		t.Fatalf("probe trace missing hint-vs-measured lines: %v", res.ProbeTrace)
 	}
 
+	// The adaptive runtime: identical temperature-0 results to the
+	// streaming+probed run, at most its upstream spend (the unit tasks
+	// are the same, and the study floors the self-tuned width at the
+	// streaming run's fixed chunk, so envelopes pack at least as well
+	// regardless of machine timing), and a strict wall-clock win on the
+	// side-input overlap scenario under its deterministic latency model.
+	if !res.AdaptiveIdentical {
+		t.Fatal("adaptive runtime results differ from the streaming + probed run at temperature 0")
+	}
+	if res.Adaptive.UpstreamCalls > res.Streaming.UpstreamCalls {
+		t.Fatalf("adaptive calls = %d, want at most the streaming run's %d",
+			res.Adaptive.UpstreamCalls, res.Streaming.UpstreamCalls)
+	}
+	if res.Adaptive.ProbeCalls == 0 {
+		t.Fatal("adaptive configuration issued no attributed probe calls on a hintless spec")
+	}
+	if res.Overlap == nil || !res.Overlap.Identical || res.Overlap.Matches == 0 {
+		t.Fatalf("overlap scenario did not reproduce identical matches: %+v", res.Overlap)
+	}
+	if res.Overlap.Overlap >= res.Overlap.DrainFirst {
+		t.Fatalf("adaptive overlap wall clock %s did not beat drain-first %s",
+			res.Overlap.Overlap, res.Overlap.DrainFirst)
+	}
+
 	// Attribution consistency, for all configurations: the per-stage sums
 	// equal the attribution total, and the total equals what the upstream
 	// counter actually saw at the model boundary.
-	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized, res.Streaming} {
+	for _, run := range []PipelineStudyRun{res.Naive, res.Optimized, res.Streaming, res.Adaptive} {
 		sum := sumStageUsage(run.Stages)
 		if sum != run.Usage {
 			t.Errorf("%s: stage usage sum %+v != attributed total %+v", run.Config, sum, run.Usage)
@@ -86,7 +110,8 @@ func TestPipelineStudyPinned(t *testing.T) {
 	}
 	out := FormatPipelineStudy(res)
 	for _, want := range []string{"rewrite:", "optimized pipeline", "streaming + probed",
-		"identical results: true (streaming: true)", "probe calls:", "per-stage attribution"} {
+		"adaptive runtime", "identical results: true (streaming: true, adaptive: true)",
+		"probe calls:", "overlap scenario:", "per-stage attribution"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("format output missing %q:\n%s", want, out)
 		}

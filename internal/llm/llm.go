@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/token"
 )
@@ -149,4 +150,36 @@ func (c *CountingModel) Reset() token.Usage {
 	prev := c.total
 	c.total = token.Usage{}
 	return prev
+}
+
+// LatencyModel wraps a Model with a fixed, deterministic per-call delay —
+// a stand-in for real network and inference latency when an experiment
+// measures scheduling effects (streaming overlap, batching) rather than
+// token counts. The sleep is context-aware: cancellation cuts the wait
+// short and surfaces the context's error.
+type LatencyModel struct {
+	inner Model
+	delay time.Duration
+}
+
+// WithLatency wraps m so every Complete call takes at least delay.
+func WithLatency(m Model, delay time.Duration) *LatencyModel {
+	return &LatencyModel{inner: m, delay: delay}
+}
+
+// Name implements Model.
+func (l *LatencyModel) Name() string { return l.inner.Name() }
+
+// Complete implements Model, sleeping before delegating.
+func (l *LatencyModel) Complete(ctx context.Context, req Request) (Response, error) {
+	if l.delay > 0 {
+		timer := time.NewTimer(l.delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+	}
+	return l.inner.Complete(ctx, req)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -44,8 +45,28 @@ type ExecConfig struct {
 	Parallelism int
 	// Chunk bounds the records per streaming micro-batch (default
 	// max(Batch, 8)). Larger chunks amortize per-invocation overhead;
-	// smaller ones hand records downstream sooner.
+	// smaller ones hand records downstream sooner. A positive Chunk
+	// always forces that fixed width, even under Adaptive.
 	Chunk int
+	// Adaptive enables the adaptive streaming runtime: per-stage
+	// micro-batch widths self-tune between ChunkMin and ChunkMax from
+	// observed service time versus queue wait (unless Chunk pins them), a
+	// streamable stage with a dynamic side input overlaps its main path
+	// with the side stage's materialization through a spillable buffer
+	// instead of draining first, and runs of adjacent commutable filter
+	// stages may be re-ordered at chunk boundaries as observed
+	// selectivities refine the optimizer's estimates. Temperature-0
+	// results are identical either way. A no-op under Materialized;
+	// Isolated keeps per-stage engines, so it disables the segment
+	// re-ordering (which would share one engine across members) while
+	// chunk self-tuning and side-input overlap still apply.
+	Adaptive bool
+	// ChunkMin and ChunkMax bound the adaptive chunk width (defaults 1
+	// and 64). Setting both with ChunkMin > ChunkMax is rejected at Run;
+	// a floor alone above the default ceiling raises the ceiling to
+	// match, pinning that width. Ignored unless Adaptive is set and
+	// Chunk is 0.
+	ChunkMin, ChunkMax int
 	// Materialized disables record-level streaming: every stage drains its
 	// whole input before running — the pre-streaming executor behaviour.
 	// Temperature-0 results are identical either way; the flag exists for
@@ -68,6 +89,57 @@ func (cfg ExecConfig) chunkSize() int {
 		return cfg.Batch
 	}
 	return 8
+}
+
+// chunkBounds resolves the adaptive width floor and ceiling. The default
+// ceiling never sits below the fixed-width default (max(Batch, 8)): a
+// large Batch must stay reachable, or adaptive runs would pack envelopes
+// worse than fixed streaming ever could. Explicitly conflicting bounds
+// were rejected at Run, so max < min here means only the floor was set
+// and it clears the default ceiling — the ceiling rises to match.
+func (cfg ExecConfig) chunkBounds() (min, max int) {
+	min, max = cfg.ChunkMin, cfg.ChunkMax
+	if min <= 0 {
+		min = 1
+	}
+	if max <= 0 {
+		max = 64
+		if cs := cfg.chunkSize(); cs > max {
+			max = cs
+		}
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// adaptiveChunking reports whether stage widths self-tune this run: a
+// positive Chunk still forces a fixed size, and Materialized disables
+// streaming (and with it the whole adaptive runtime).
+func (cfg ExecConfig) adaptiveChunking() bool {
+	return cfg.Adaptive && cfg.Chunk == 0 && !cfg.Materialized
+}
+
+// newChunker builds one stage's micro-batch width policy.
+func (cfg ExecConfig) newChunker() chunker {
+	if !cfg.adaptiveChunking() {
+		return fixedChunker(cfg.chunkSize())
+	}
+	min, max := cfg.chunkBounds()
+	return newAdaptiveChunker(min, max, cfg.chunkSize())
+}
+
+// chunkCap sizes each inter-stage channel: the widest chunk the run may
+// assemble, so a grown adaptive chunk can actually fill from the buffer.
+func (cfg ExecConfig) chunkCap() int {
+	if cfg.adaptiveChunking() {
+		_, max := cfg.chunkBounds()
+		if max > cfg.chunkSize() {
+			return max
+		}
+	}
+	return cfg.chunkSize()
 }
 
 // runtime binds one run's shared machinery: the budget, the attribution
@@ -129,7 +201,8 @@ type Env struct {
 	// materialized from an earlier stage's stream.
 	Tables map[string][]dataset.Record
 
-	chunk int
+	chunk chunker
+	stats *stageStats
 	run   *runState
 }
 
@@ -168,13 +241,23 @@ type StageReport struct {
 	Usage token.Usage
 	// Cost prices Usage at the model's rate.
 	Cost float64
+	// Timing is the stage's observed streaming behaviour: service time
+	// versus queue wait, chunks, and records — the signals the adaptive
+	// chunker tunes against, surfaced for inspection and benchmarks.
+	Timing workflow.StageTiming
 	// Detail is the stage's operator-specific summary.
 	Detail string
 }
 
 // Result is the outcome of one pipeline run.
 type Result struct {
-	// Tables holds every stage's output table by stage name.
+	// Tables holds every stage's output table by stage name. One caveat
+	// under ExecConfig.Adaptive: inside a re-orderable filter segment,
+	// a non-tail filter's table (and its In/Out counts) reflects the
+	// records it actually evaluated under the orders used, which can
+	// vary with chunk-boundary timing; the segment's tail table — what
+	// every downstream consumer sees — and all non-segment tables are
+	// byte-identical to a non-adaptive run at temperature 0.
 	Tables map[string][]dataset.Record
 	// Scalars holds the scalar outputs of count/max stages by stage name.
 	Scalars map[string]string
@@ -246,7 +329,18 @@ func drain(ctx context.Context, in <-chan dataset.Record, up *streamOut) ([]data
 // buffered (up to n), so a fast upstream fills chunks and a slow one
 // doesn't stall the stage. Returns more=false once the stream is
 // exhausted; the final chunk may still carry records.
+//
+// Cancellation is checked eagerly, not just inside the selects: the
+// blocking first-record receive races a ready channel against ctx.Done,
+// and Go's select picks ready cases at random — a busy upstream could
+// otherwise keep a cancelled stage assembling chunks indefinitely. The
+// explicit polls make cancellation win the next boundary deterministically
+// whether the upstream is idle (the select's Done case fires) or flooding
+// (the entry poll fires).
 func nextChunk(ctx context.Context, in <-chan dataset.Record, n int) (chunk []dataset.Record, more bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	select {
 	case r, ok := <-in:
 		if !ok {
@@ -257,6 +351,9 @@ func nextChunk(ctx context.Context, in <-chan dataset.Record, n int) (chunk []da
 		return nil, false, ctx.Err()
 	}
 	for len(chunk) < n {
+		if err := ctx.Err(); err != nil {
+			return chunk, false, err
+		}
 		select {
 		case r, ok := <-in:
 			if !ok {
@@ -288,6 +385,9 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 	if !ok {
 		return nil, fmt.Errorf("pipeline: tables lack %q", "source")
 	}
+	if cfg.ChunkMin > 0 && cfg.ChunkMax > 0 && cfg.ChunkMin > cfg.ChunkMax {
+		return nil, fmt.Errorf("pipeline: ChunkMin %d exceeds ChunkMax %d", cfg.ChunkMin, cfg.ChunkMax)
+	}
 	rt := cfg.runtime()
 	state := &runState{scalars: make(map[string]string), details: make(map[string]string)}
 
@@ -299,12 +399,35 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 		outs[st.Name()] = &streamOut{done: make(chan struct{})}
 	}
 
+	// Adaptive runs collapse runs of adjacent commutable filters into
+	// segments the executor may re-order mid-run; segMember marks every
+	// stage driven by a segment goroutine instead of its own. Isolated
+	// runs keep every stage on its own engine — a segment would share one
+	// across its members — so they never form segments.
+	var segments [][]int
+	segID := make([]int, len(p.stages)) // 0 = no segment; k = member of segments[k-1]
+	if cfg.Adaptive && !cfg.Materialized && !cfg.Isolated {
+		segments = adaptiveSegments(p.specs)
+		for k, seg := range segments {
+			for _, j := range seg {
+				segID[j] = k + 1
+			}
+		}
+	}
+
 	// Wire one bounded channel per main-input edge. Dynamic side-table
 	// consumers are not subscribers: they read the producer's collected
-	// table after its done closes.
-	chunk := cfg.chunkSize()
+	// table after its done closes. Stages inside a segment take no edge
+	// of their own — the segment consumes the head's input and emits on
+	// the tail's output, whose downstream subscriptions wire as usual.
+	chunk := cfg.chunkCap()
 	inputs := make(map[string]chan dataset.Record, len(p.stages))
-	for _, st := range p.stages {
+	for i, st := range p.stages {
+		if segID[i] > 0 {
+			if j := indexOf(p.specs, p.specs[i].Input); j >= 0 && segID[j] == segID[i] {
+				continue // intra-segment edge: records flow inside the goroutine
+			}
+		}
 		ch := make(chan dataset.Record, chunk)
 		inputs[st.Name()] = ch
 		up := outs[st.Input()]
@@ -327,7 +450,17 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 		}
 	}()
 
+	for _, seg := range segments {
+		wg.Add(1)
+		go func(seg []int) {
+			defer wg.Done()
+			p.runSegment(ctx, cancel, cfg, rt, state, outs, inputs[p.specs[seg[0]].Name], tables, seg)
+		}(seg)
+	}
 	for i, st := range p.stages {
+		if segID[i] > 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(st Stage, spec StageSpec) {
 			defer wg.Done()
@@ -384,6 +517,7 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 			Out:    len(out.table),
 			Usage:  rt.attr.Usage(st.Name()),
 			Cost:   rt.attr.Cost(st.Name()),
+			Timing: rt.attr.Timing(st.Name()),
 			Detail: state.details[st.Name()],
 		})
 	}
@@ -418,28 +552,36 @@ func (p *Pipeline) runStage(ctx context.Context, cancel context.CancelFunc, cfg 
 			state.scalars[st.Name()] = "0"
 			state.details[st.Name()] = "0 of 0 (empty input)"
 		} else {
-			state.details[st.Name()] = "skipped: empty input"
+			state.details[st.Name()] = detailSkippedEmpty
 		}
 	}
 
-	env := &Env{Engine: rt.engineFor(), Budget: rt.budget, Tables: tables, chunk: cfg.chunkSize(), run: state}
+	env := &Env{Engine: rt.engineFor(), Budget: rt.budget, Tables: tables,
+		chunk: cfg.newChunker(), stats: &stageStats{stage: st.Name()}, run: state}
+	defer env.stats.flush(rt.attr)
 
-	// A dynamic side input (Side naming an earlier stage) forces barrier
-	// mode: the operator needs the side table whole, and we must keep
-	// consuming our own input while the side stage finishes — otherwise a
-	// shared ancestor could deadlock on backpressure. Draining first is
-	// exactly that, so the order is: drain main input, await side, run.
+	// A dynamic side input (Side naming an earlier stage) needs the side
+	// table whole, and the stage must keep consuming its own input while
+	// the side stage finishes — otherwise a shared ancestor could deadlock
+	// on backpressure. The classic answer is barrier mode: drain the main
+	// input, await the side, run. The adaptive runtime restores overlap
+	// for streamable stages instead: buffer the main input in a spillable
+	// spool while the side materializes, then stream the spool plus the
+	// live tail — the main path never stops consuming, and downstream
+	// starts receiving as soon as the side table lands.
 	dynamicSide := sideStage(p.specs, spec) >= 0
 
 	streamer, ok := st.(Streamer)
-	if ok && streamer.CanStream() && !cfg.Materialized && !dynamicSide {
-		emit := func(r dataset.Record) error {
-			out.table = append(out.table, r)
-			if !out.send(ctx, r) {
-				return ctx.Err()
-			}
-			return nil
+	canStream := ok && streamer.CanStream() && !cfg.Materialized
+	emit := func(r dataset.Record) error {
+		out.table = append(out.table, r)
+		if !out.send(ctx, r) {
+			return ctx.Err()
 		}
+		return nil
+	}
+
+	if canStream && !dynamicSide {
 		consumed, err := streamer.RunStream(workflow.TagStage(ctx, st.Name()), env, in, emit)
 		out.consumed = consumed
 		if err != nil {
@@ -459,6 +601,29 @@ func (p *Pipeline) runStage(ctx context.Context, cancel context.CancelFunc, cfg 
 		return
 	}
 
+	if canStream && dynamicSide && cfg.Adaptive {
+		consumed, err := p.runStreamWithSide(ctx, cfg, env, outs, in, tables, streamer, st, spec, emit)
+		out.consumed = consumed
+		if err != nil {
+			if propagated(err, outs, spec) {
+				fail(err)
+			} else {
+				abort(err)
+			}
+			return
+		}
+		<-up.done
+		if up.err != nil {
+			fail(up.err)
+			return
+		}
+		if consumed == 0 {
+			skipEmpty()
+		}
+		return
+	}
+
+	start := time.Now()
 	recs, err := drain(ctx, in, up)
 	if err != nil {
 		fail(err)
@@ -477,19 +642,14 @@ func (p *Pipeline) runStage(ctx context.Context, cancel context.CancelFunc, cfg 
 			fail(side.err)
 			return
 		}
-		// Overlay the materialized stage output without mutating the
-		// shared static-table map.
-		overlay := make(map[string][]dataset.Record, len(tables)+1)
-		for k, v := range tables {
-			overlay[k] = v
-		}
-		overlay[spec.Side] = side.table
-		env.Tables = overlay
+		env.Tables = overlaySide(tables, spec.Side, side.table)
 	}
+	wait := time.Since(start)
 	if len(recs) == 0 {
 		skipEmpty()
 		return
 	}
+	work := time.Now()
 	table, err := st.Run(workflow.TagStage(ctx, st.Name()), env, recs)
 	if err != nil {
 		abort(err)
@@ -501,6 +661,154 @@ func (p *Pipeline) runStage(ctx context.Context, cancel context.CancelFunc, cfg 
 			return
 		}
 	}
+	env.stats.observe(wait, time.Since(work), len(recs))
+}
+
+// overlaySide copies the static-table map with one dynamic side table
+// overlaid, so the shared map is never mutated.
+func overlaySide(tables map[string][]dataset.Record, name string, side []dataset.Record) map[string][]dataset.Record {
+	overlay := make(map[string][]dataset.Record, len(tables)+1)
+	for k, v := range tables {
+		overlay[k] = v
+	}
+	overlay[name] = side
+	return overlay
+}
+
+// propagated reports whether err came from upstream (the side stage's
+// failure or a cancellation) rather than this stage's own operator, so
+// runStage records it without re-wrapping and without cancelling the run
+// a second time.
+func propagated(err error, outs map[string]*streamOut, spec StageSpec) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if side := outs[spec.Side]; side != nil {
+		// side.err is published by close(side.done); reading it before
+		// that close is a data race with the side stage's goroutine, and
+		// an error raised while the side is still running (e.g. a spool
+		// failure) cannot have come from it anyway.
+		select {
+		case <-side.done:
+			if side.err != nil && errors.Is(err, side.err) {
+				return true
+			}
+		default:
+		}
+	}
+	return false
+}
+
+// sideSpoolMem overrides the overlap spool's in-memory record capacity;
+// 0 takes the spool default. Tests shrink it to force the disk-spill
+// path without thousand-record inputs.
+var sideSpoolMem = 0
+
+// runStreamWithSide is the adaptive side-input overlap path: spool the
+// main input while the dynamic side stage materializes, then stream the
+// spooled prefix followed by the live channel through the stage. The
+// spool keeps the main path consuming (no backpressure deadlock through a
+// shared ancestor) without the full drain the barrier path pays, so
+// downstream receives records as soon as the side table is ready.
+func (p *Pipeline) runStreamWithSide(ctx context.Context, cfg ExecConfig, env *Env, outs map[string]*streamOut,
+	in <-chan dataset.Record, tables map[string][]dataset.Record, streamer Streamer, st Stage, spec StageSpec,
+	emit func(dataset.Record) error) (int, error) {
+	side := outs[spec.Side]
+	spool := newRecordSpool(sideSpoolMem)
+	defer spool.Close()
+
+	start := time.Now()
+	inOpen := true
+buffering:
+	for {
+		select {
+		case r, ok := <-in:
+			if !ok {
+				inOpen = false
+				break buffering
+			}
+			if err := spool.Append(r); err != nil {
+				return spool.Len(), err
+			}
+		case <-side.done:
+			break buffering
+		case <-ctx.Done():
+			return spool.Len(), ctx.Err()
+		}
+	}
+	// The main input may have closed first; the side table is still the
+	// gate for processing.
+	select {
+	case <-side.done:
+	case <-ctx.Done():
+		return spool.Len(), ctx.Err()
+	}
+	if side.err != nil {
+		return spool.Len(), side.err
+	}
+	env.Tables = overlaySide(tables, spec.Side, side.table)
+	// The spool-fill wait is time blocked on inputs, but not a processed
+	// micro-batch — record it without inflating the chunk count.
+	env.stats.addWait(time.Since(start))
+
+	// Replay the spool, then pipe the live channel, on one merged stream
+	// the stage consumes in chunks. The feeder owns its reads of the spool,
+	// so this function must not return — and the deferred spool.Close must
+	// not run — until the feeder has exited: fcancel unblocks it even when
+	// the run's context is still live (e.g. RunStream failed mid-replay),
+	// and the second defer waits for it. No goroutine can leak.
+	merged := make(chan dataset.Record, cfg.chunkCap())
+	feedErr := make(chan error, 1)
+	feedDone := make(chan struct{})
+	fctx, fcancel := context.WithCancel(ctx)
+	defer func() {
+		fcancel()
+		<-feedDone
+	}()
+	go func() {
+		defer close(feedDone)
+		defer close(merged)
+		for {
+			r, ok, err := spool.Pop()
+			if err != nil {
+				feedErr <- err
+				return
+			}
+			if !ok {
+				break
+			}
+			select {
+			case merged <- r:
+			case <-fctx.Done():
+				return
+			}
+		}
+		for inOpen {
+			select {
+			case r, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case merged <- r:
+				case <-fctx.Done():
+					return
+				}
+			case <-fctx.Done():
+				return
+			}
+		}
+	}()
+
+	consumed, err := streamer.RunStream(workflow.TagStage(ctx, st.Name()), env, merged, emit)
+	if err == nil {
+		select {
+		case ferr := <-feedErr:
+			err = ferr
+		default:
+		}
+	}
+	return consumed, err
 }
 
 // FormatResult renders a run report as a text table: one row per stage

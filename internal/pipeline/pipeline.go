@@ -27,7 +27,17 @@
 // Optimize rewrites using spec hints alone; OptimizeProbed additionally
 // measures each hintless filter's selectivity on a deterministic record
 // sample before ordering (probe spend attributed under
-// workflow.StageProbe). See docs/PIPELINE.md and docs/OPTIMIZER.md.
+// workflow.StageProbe).
+//
+// ExecConfig.Adaptive enables the adaptive streaming runtime: per-stage
+// micro-batch widths self-tune between ChunkMin and ChunkMax from
+// observed service time versus queue wait, a streamable stage with a
+// dynamic side input overlaps its main path with the side stage's
+// materialization through a spillable buffer instead of draining first,
+// and runs of adjacent commutable filters execute as segments whose
+// internal order is revised at chunk boundaries as observed keep rates
+// refine the optimizer's estimates — all with byte-identical
+// temperature-0 results. See docs/PIPELINE.md and docs/OPTIMIZER.md.
 package pipeline
 
 import (

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -44,17 +45,24 @@ type Streamer interface {
 }
 
 // runChunked drives a streaming stage's common loop: assemble bounded
-// micro-batches from in, hand each to process, and emit its outputs.
+// micro-batches from in, hand each to process, and emit its outputs. The
+// width of each chunk comes from the stage's chunker — fixed by default,
+// self-tuning under ExecConfig.Adaptive — which observes, along with the
+// stage's stats, how long the stage waited for input versus how long
+// processing and emission took.
 func runChunked(ctx context.Context, env *Env, in <-chan dataset.Record, emit func(dataset.Record) error,
 	process func(ctx context.Context, chunk []dataset.Record) ([]dataset.Record, error)) (int, error) {
 	consumed := 0
 	for {
-		chunk, more, err := nextChunk(ctx, in, env.chunk)
+		start := time.Now()
+		chunk, more, err := nextChunk(ctx, in, env.chunk.size())
+		wait := time.Since(start)
 		if err != nil {
 			return consumed, err
 		}
 		consumed += len(chunk)
 		if len(chunk) > 0 {
+			work := time.Now()
 			out, err := process(ctx, chunk)
 			if err != nil {
 				return consumed, err
@@ -64,6 +72,9 @@ func runChunked(ctx context.Context, env *Env, in <-chan dataset.Record, emit fu
 					return consumed, err
 				}
 			}
+			service := time.Since(work)
+			env.chunk.observe(wait, service, len(chunk))
+			env.stats.observe(wait, service, len(chunk))
 		}
 		if !more {
 			return consumed, nil
@@ -150,12 +161,22 @@ func (s filterStage) filter(ctx context.Context, env *Env, in []dataset.Record) 
 	return out, res.Asks, nil
 }
 
+// filterDetail is the one report string for a filter's work, shared by
+// the table path, the streaming path, and the adaptive segment runner so
+// the three never drift apart.
+func filterDetail(kept, seen, asks int) string {
+	return fmt.Sprintf("kept %d/%d (%d asks)", kept, seen, asks)
+}
+
+// detailSkippedEmpty marks a stage that saw no input records.
+const detailSkippedEmpty = "skipped: empty input"
+
 func (s filterStage) Run(ctx context.Context, env *Env, in []dataset.Record) ([]dataset.Record, error) {
 	out, asks, err := s.filter(ctx, env, in)
 	if err != nil {
 		return nil, err
 	}
-	env.detail(s.Name(), fmt.Sprintf("kept %d/%d (%d asks)", len(out), len(in), asks))
+	env.detail(s.Name(), filterDetail(len(out), len(in), asks))
 	return out, nil
 }
 
@@ -177,7 +198,7 @@ func (s filterStage) RunStream(ctx context.Context, env *Env, in <-chan dataset.
 		return consumed, err
 	}
 	if consumed > 0 {
-		env.detail(s.Name(), fmt.Sprintf("kept %d/%d (%d asks)", kept, consumed, asks))
+		env.detail(s.Name(), filterDetail(kept, consumed, asks))
 	}
 	return consumed, nil
 }

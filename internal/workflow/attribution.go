@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/llm"
 	"repro/internal/token"
@@ -37,20 +38,71 @@ func StageTag(ctx context.Context) string {
 	return s
 }
 
+// StageTiming aggregates one stage's observed streaming behaviour: how
+// long it spent doing work versus waiting for input, and how many
+// micro-batches (chunks) and records flowed through it. The pipeline
+// executor's per-stage stats feed these observations into the run's
+// Attribution, where they surface in the run report next to the stage's
+// token spend — and where the adaptive chunker reads the service-time /
+// queue-wait balance it tunes against.
+type StageTiming struct {
+	// Service is time spent processing chunks (operator work plus
+	// downstream emission, i.e. backpressure).
+	Service time.Duration
+	// Wait is time spent blocked assembling input chunks — waiting on a
+	// slow upstream.
+	Wait time.Duration
+	// Chunks counts the micro-batches processed (1 for a barrier stage).
+	Chunks int
+	// Records counts the input records consumed.
+	Records int
+}
+
+// Add returns the element-wise sum of two timings.
+func (t StageTiming) Add(o StageTiming) StageTiming {
+	return StageTiming{
+		Service: t.Service + o.Service,
+		Wait:    t.Wait + o.Wait,
+		Chunks:  t.Chunks + o.Chunks,
+		Records: t.Records + o.Records,
+	}
+}
+
 // Attribution accumulates real upstream usage and dollar cost per stage
 // label, so one shared budget can be broken down into "which pipeline
 // stage spent what". Only genuine upstream calls register: cache hits,
 // coalesced followers, and split batch sections all carry zero usage and
-// therefore add nothing. Safe for concurrent use.
+// therefore add nothing. It also carries per-stage streaming timings
+// (ObserveTiming), which the executor feeds and the run report surfaces.
+// Safe for concurrent use.
 type Attribution struct {
-	mu    sync.Mutex
-	usage map[string]token.Usage
-	cost  map[string]float64
+	mu     sync.Mutex
+	usage  map[string]token.Usage
+	cost   map[string]float64
+	timing map[string]StageTiming
 }
 
 // NewAttribution returns an empty attribution ledger.
 func NewAttribution() *Attribution {
-	return &Attribution{usage: make(map[string]token.Usage), cost: make(map[string]float64)}
+	return &Attribution{
+		usage:  make(map[string]token.Usage),
+		cost:   make(map[string]float64),
+		timing: make(map[string]StageTiming),
+	}
+}
+
+// ObserveTiming accumulates streaming timings under the stage label.
+func (a *Attribution) ObserveTiming(stage string, t StageTiming) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.timing[stage] = a.timing[stage].Add(t)
+}
+
+// Timing returns the timings recorded under one stage label.
+func (a *Attribution) Timing(stage string) StageTiming {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.timing[stage]
 }
 
 // Record adds usage under the stage label, priced at the model's rate.

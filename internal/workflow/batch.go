@@ -18,6 +18,10 @@ type BatchOptions struct {
 	// company before the batch is flushed anyway (default 2ms). The
 	// trade-off is latency on straggler tasks versus packing density.
 	Linger time.Duration
+	// Observer, when set, additionally receives every envelope and
+	// solo-retry count — typically the shared ExecLayer, so per-session
+	// batchers aggregate into one ExecStats snapshot.
+	Observer BatchObserver
 }
 
 func (o BatchOptions) withDefaults() BatchOptions {
@@ -168,6 +172,13 @@ func (b *BatchingModel) Complete(ctx context.Context, req llm.Request) (llm.Resp
 	}
 }
 
+// observe forwards batching outcomes to the configured observer, if any.
+func (b *BatchingModel) observe(envelopes, packed, soloRetries int) {
+	if b.opts.Observer != nil {
+		b.opts.Observer.ObserveBatch(envelopes, packed, soloRetries)
+	}
+}
+
 // detachLocked removes q from the forming set and stops its timer. Callers
 // hold b.mu.
 func (b *BatchingModel) detachLocked(group batchGroup, q *batchQueue) []*batchItem {
@@ -228,6 +239,7 @@ func (b *BatchingModel) flush(items []*batchItem) {
 		b.mu.Lock()
 		b.batches++
 		b.mu.Unlock()
+		b.observe(1, 0, 0)
 		b.retrySolo(items)
 		return
 	}
@@ -235,6 +247,7 @@ func (b *BatchingModel) flush(items []*batchItem) {
 	b.batches++
 	b.packed += len(items)
 	b.mu.Unlock()
+	b.observe(1, len(items), 0)
 
 	answers, perr := prompt.ParseTaskBatch(resp.Text, len(items))
 	var retry []*batchItem
@@ -262,6 +275,7 @@ func (b *BatchingModel) retrySolo(items []*batchItem) {
 	b.mu.Lock()
 	b.retried += len(items)
 	b.mu.Unlock()
+	b.observe(0, 0, len(items))
 	sem := make(chan struct{}, soloRetryParallelism)
 	var wg sync.WaitGroup
 	for _, it := range items {

@@ -1,6 +1,8 @@
 package workflow
 
 import (
+	"sync/atomic"
+
 	"repro/internal/llm"
 )
 
@@ -11,6 +13,21 @@ type ExecStats struct {
 	// Coalesced counts requests answered by joining another caller's
 	// in-flight upstream call.
 	Coalesced int
+	// Batches counts multi-task envelope calls issued upstream by
+	// batchers observing this layer (failed envelopes included — they
+	// were real upstream calls).
+	Batches int
+	// SoloRetries counts unit tasks re-issued individually after a failed
+	// envelope call or a missing/garbled answer section.
+	SoloRetries int
+}
+
+// BatchObserver receives batching outcomes from a BatchingModel so a
+// shared layer can aggregate them across every per-session batcher.
+type BatchObserver interface {
+	// ObserveBatch records one envelope call issued upstream (packed unit
+	// tasks inside it) and any unit tasks that fell back to a solo retry.
+	ObserveBatch(envelopes, packed, soloRetries int)
 }
 
 // ExecLayer is the shared high-throughput execution substrate: one
@@ -22,11 +39,18 @@ type ExecStats struct {
 // once per process — first by coalescing while in flight, then by the
 // cache forever after.
 //
+// The layer also implements BatchObserver: engines that batch below it
+// (core.WithBatching) report envelope and solo-retry counts here, so
+// Stats unifies cache, coalescing, and batching effects in one snapshot.
+//
 // Construct one layer per logical session or service and pass it to every
 // engine via core.WithExecutionLayer. Safe for concurrent use.
 type ExecLayer struct {
 	cache   *Cache
 	flights *FlightGroup
+
+	batches     atomic.Int64
+	soloRetries atomic.Int64
 }
 
 // NewExecLayer returns a layer with a DefaultCacheShards-way cache.
@@ -48,8 +72,23 @@ func (l *ExecLayer) Wrap(m llm.Model) llm.Model {
 	return NewCachedWith(NewCoalescingWith(m, l.flights), l.cache)
 }
 
-// Stats snapshots the layer's counters.
+// ObserveBatch implements BatchObserver.
+func (l *ExecLayer) ObserveBatch(envelopes, packed, soloRetries int) {
+	l.batches.Add(int64(envelopes))
+	l.soloRetries.Add(int64(soloRetries))
+}
+
+// Stats snapshots the layer's counters. It is safe to call concurrently
+// with in-flight requests (and with other Stats calls): every counter is
+// independently synchronized, so a snapshot taken mid-run is a consistent
+// point-in-time lower bound, never a torn read.
 func (l *ExecLayer) Stats() ExecStats {
 	size, hits := l.cache.Stats()
-	return ExecStats{CacheSize: size, CacheHits: hits, Coalesced: l.flights.Coalesced()}
+	return ExecStats{
+		CacheSize:   size,
+		CacheHits:   hits,
+		Coalesced:   l.flights.Coalesced(),
+		Batches:     int(l.batches.Load()),
+		SoloRetries: int(l.soloRetries.Load()),
+	}
 }
