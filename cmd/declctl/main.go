@@ -29,6 +29,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/workflow"
 )
 
@@ -64,8 +65,21 @@ func main() {
 	plChunkMax := sub.Int("chunk-max", 0, "adaptive chunk width ceiling for pipeline (0 = 64)")
 	plRecords := sub.Int("records", 24, "base source records for pipeline-study")
 	plDup := sub.Float64("dup", 0.4, "duplicated fraction for pipeline-study")
-	benchJSON := sub.String("json", "", "write machine-readable bench results to this file (e.g. BENCH_PR5.json)")
 	benchIters := sub.Int("iters", 3, "iterations per bench configuration")
+	scName := sub.String("name", "", "scenario ID to run for scenario (see -list)")
+	scList := sub.Bool("list", false, "list the pre-built scenarios for scenario")
+	// The scenario command's -json is a switch (emit the result as JSON);
+	// everywhere else it is the bench baseline's output path. One FlagSet
+	// serves every command, so the flag registers per command.
+	var benchJSON *string
+	var scJSON *bool
+	if cmd == "scenario" {
+		scJSON = sub.Bool("json", false, "emit the scenario result as JSON")
+		benchJSON = new(string)
+	} else {
+		benchJSON = sub.String("json", "", "write machine-readable bench results to this file (e.g. BENCH_PR5.json)")
+		scJSON = new(bool)
+	}
 	sub.Parse(flag.Args()[1:])
 
 	ctx := context.Background()
@@ -300,6 +314,49 @@ func main() {
 		fmt.Print(experiments.FormatPipelineStudy(res))
 		return nil
 	}
+	runScenario := func() error {
+		if *scList {
+			for _, sc := range scenario.List() {
+				fmt.Printf("%-24s %s\n  %s\n", sc.ID, sc.Name, sc.Description)
+			}
+			return nil
+		}
+		if *scName == "" {
+			return fmt.Errorf("scenario needs -name <id> (or -list)")
+		}
+		sc := scenario.ByID(*scName)
+		if sc == nil {
+			return fmt.Errorf("unknown scenario %q (try -list)", *scName)
+		}
+		res, err := scenario.New(scenario.Options{}).Run(ctx, sc)
+		if err != nil {
+			return err
+		}
+		if *scJSON {
+			raw, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+		} else {
+			fmt.Print(scenario.Format(res))
+		}
+		if !res.Passed {
+			return fmt.Errorf("scenario %s failed its checkpoints", sc.ID)
+		}
+		return nil
+	}
+	scenarioStudy := func() error {
+		res, err := experiments.ScenarioStudy(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScenarioStudy(res))
+		if !res.AllPassed {
+			return fmt.Errorf("scenario study: not every checkpoint passed")
+		}
+		return nil
+	}
 	bench := func() error {
 		report, err := experiments.PipelineBench(ctx, *benchIters)
 		if err != nil {
@@ -350,6 +407,18 @@ func main() {
 		run("Pipeline: optimized operator DAG", runPipeline)
 	case "pipeline-study":
 		run("Pipeline study: naive sequential vs optimized DAG", pipelineStudy)
+	case "scenario":
+		// JSON output stays machine-readable: no header or timing wrapper.
+		if *scJSON {
+			if err := runScenario(); err != nil {
+				fmt.Fprintf(os.Stderr, "declctl: scenario: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			run("Scenario harness: standing queries under multi-turn traffic", runScenario)
+		}
+	case "scenario-study":
+		run("Scenario study: all pre-built scenarios on the sim engine", scenarioStudy)
 	case "bench":
 		run(fmt.Sprintf("Pipeline bench: %d iterations per configuration", *benchIters), bench)
 	case "all":
@@ -368,6 +437,7 @@ func main() {
 		run("Ablation A9: template brittleness", ablateTemplates)
 		run("Execution layer: shared cache + coalescing + batching", execLayer)
 		run("Pipeline study: naive sequential vs optimized DAG", pipelineStudy)
+		run("Scenario study: all pre-built scenarios on the sim engine", scenarioStudy)
 	default:
 		usage()
 		os.Exit(2)
@@ -407,6 +477,13 @@ commands:
   pipeline-study  naive sequential operators vs the optimized pipeline —
                   materialized, streaming+probed, and adaptive — plus the
                   side-input overlap scenario (-records N -dup F -batch K)
+  scenario        run one checkpointed multi-turn scenario against the
+                  deterministic sim engine: standing queries with mid-run
+                  ingestion, cache replays, burst load, latency shifts
+                  (-name <id> to run, -list to enumerate, -json for the
+                  machine-readable result)
+  scenario-study  run every pre-built scenario and print the per-scenario
+                  call/token/cache counters with pass verdicts
   bench           time the pipeline benchmark configurations and optionally
                   write a machine-readable perf baseline
                   (-iters N -json BENCH_PR5.json)

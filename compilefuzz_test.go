@@ -1,0 +1,145 @@
+package declprompt
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCompilePipelineNamesOffendingStage pins that every validation
+// error identifies the stage the user must fix, so a declctl spec-file
+// author is never left bisecting a JSON document.
+func TestCompilePipelineNamesOffendingStage(t *testing.T) {
+	cases := []struct {
+		name string
+		spec PipelineSpec
+		want []string // fragments the error must contain
+	}{
+		{
+			name: "dangling input ref",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "keep", Kind: "filter", Predicate: "p", Input: "nowhere"},
+			}},
+			want: []string{`"keep"`, `"nowhere"`, "not source or an earlier stage"},
+		},
+		{
+			name: "forward input ref",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "early", Kind: "filter", Predicate: "p", Input: "late"},
+				{Name: "late", Kind: "filter", Predicate: "q"},
+			}},
+			want: []string{`"early"`, `"late"`},
+		},
+		{
+			name: "reserved dunder name",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "__probe", Kind: "filter", Predicate: "p"},
+			}},
+			want: []string{`"__probe"`, "reserved"},
+		},
+		{
+			name: "duplicate name",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "keep", Kind: "filter", Predicate: "p"},
+				{Name: "keep", Kind: "filter", Predicate: "q"},
+			}},
+			want: []string{"duplicate", `"keep"`},
+		},
+		{
+			name: "selectivity above one",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "keep", Kind: "filter", Predicate: "p", Selectivity: 1.5},
+			}},
+			want: []string{`"keep"`, "selectivity", "outside (0, 1]"},
+		},
+		{
+			name: "selectivity NaN",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "keep", Kind: "filter", Predicate: "p", Selectivity: math.NaN()},
+			}},
+			want: []string{`"keep"`, "selectivity"},
+		},
+		{
+			name: "selectivity on non-filter",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "tally", Kind: "count", Predicate: "p", Selectivity: 0.4},
+			}},
+			want: []string{`"tally"`, "only applies to filter"},
+		},
+		{
+			name: "unknown kind",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "mystery", Kind: "meander"},
+			}},
+			want: []string{`"mystery"`, `unknown kind "meander"`},
+		},
+		{
+			name: "forward side ref",
+			spec: PipelineSpec{Stages: []PipelineStage{
+				{Name: "match", Kind: "join", Field: "name", Side: "pool"},
+				{Name: "pool", Kind: "filter", Predicate: "p"},
+			}},
+			want: []string{`"match"`, `"pool"`, "not earlier"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompilePipeline(tc.spec)
+			if err == nil {
+				t.Fatal("CompilePipeline accepted an invalid spec")
+			}
+			for _, frag := range tc.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Fatalf("error %q lacks %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
+// FuzzCompilePipelineSpec feeds arbitrary JSON through the same
+// unmarshal-then-compile path declctl uses for spec files. Invariants:
+// CompilePipeline never panics, a nil error always comes with a usable
+// pipeline, and compilation is deterministic — the same bytes either
+// compile twice or fail twice with the same message.
+func FuzzCompilePipelineSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"stages":[]}`,
+		`{"stages":[{"name":"keep","kind":"filter","predicate":"the kind is tool"}]}`,
+		`{"stages":[{"name":"__x","kind":"filter","predicate":"p"}]}`,
+		`{"stages":[{"name":"keep","kind":"filter","predicate":"p","input":"ghost"}]}`,
+		`{"stages":[{"name":"keep","kind":"filter","predicate":"p","selectivity":2.5}]}`,
+		`{"stages":[{"name":"a","kind":"filter","predicate":"p"},{"name":"a","kind":"count","predicate":"p"}]}`,
+		`{"stages":[{"name":"m","kind":"join","field":"name","side":"pool","input":"source"}]}`,
+		`{"stages":[{"name":"s","kind":"sort"},{"name":"source","kind":"max","criterion":"c"}]}`,
+		`{"stages":[{"name":"i","kind":"impute","target_field":"city","side":"train","strategy":"hybrid"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var spec PipelineSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return // not a spec; nothing for Compile to validate
+		}
+		p, err := CompilePipeline(spec)
+		if err == nil && p == nil {
+			t.Fatal("CompilePipeline returned nil pipeline with nil error")
+		}
+		p2, err2 := CompilePipeline(spec)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("compile nondeterministic: first err %v, second err %v", err, err2)
+		}
+		if err != nil {
+			if err.Error() != err2.Error() {
+				t.Fatalf("error message nondeterministic: %q vs %q", err, err2)
+			}
+			return
+		}
+		if p2 == nil {
+			t.Fatal("second compile returned nil pipeline with nil error")
+		}
+	})
+}

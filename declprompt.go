@@ -168,8 +168,10 @@ var (
 // spec, optimized, and executed as a streaming operator DAG on a shared
 // engine with per-stage budget attribution.
 type (
-	// Record is one row of a pipeline table.
+	// Record is one row of a pipeline table; Field is one of its
+	// name/value pairs.
 	Record = dataset.Record
+	Field  = dataset.Field
 	// PipelineSpec is the JSON-serializable pipeline description.
 	PipelineSpec = pipeline.Spec
 	// PipelineStage describes one operator stage of a spec.

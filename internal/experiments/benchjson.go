@@ -84,12 +84,22 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 		name string
 		spec pipeline.Spec
 		cfg  pipeline.ExecConfig
+		// feed runs the configuration as a standing query: the source
+		// table shrinks to static and the feed records arrive mid-run on
+		// ExecConfig.Feed (the scenario harness's workload shape). Serial
+		// execution (Parallelism 1, Chunk 1, no batching) keeps every
+		// counter — including the cache-hit/coalesce split — deterministic.
+		static, feed []dataset.Record
 	}
+	source := tables["source"]
+	half := len(source) / 2
 	configs := []config{
-		{"pipeline-naive", spec, pipeline.ExecConfig{Parallelism: 16, Isolated: true, Materialized: true}},
-		{"pipeline-optimized-materialized", optimized, pipeline.ExecConfig{Parallelism: 16, Batch: 8, Materialized: true}},
-		{"pipeline-optimized-streaming", optimized, pipeline.ExecConfig{Parallelism: 16, Batch: 8}},
-		{"pipeline-adaptive", optimized, pipeline.ExecConfig{Parallelism: 16, Batch: 8, Adaptive: true}},
+		{name: "pipeline-naive", spec: spec, cfg: pipeline.ExecConfig{Parallelism: 16, Isolated: true, Materialized: true}},
+		{name: "pipeline-optimized-materialized", spec: optimized, cfg: pipeline.ExecConfig{Parallelism: 16, Batch: 8, Materialized: true}},
+		{name: "pipeline-optimized-streaming", spec: optimized, cfg: pipeline.ExecConfig{Parallelism: 16, Batch: 8}},
+		{name: "pipeline-adaptive", spec: optimized, cfg: pipeline.ExecConfig{Parallelism: 16, Batch: 8, Adaptive: true}},
+		{name: "scenario-standing-query", spec: optimized, cfg: pipeline.ExecConfig{Parallelism: 1, Chunk: 1},
+			static: source[:half], feed: source[half:]},
 	}
 
 	report := &BenchReport{
@@ -117,7 +127,23 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 		var stats workflow.ExecStats
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := p.Run(ctx, cfg, tables); err != nil {
+			runCfg, runTables := cfg, tables
+			if len(c.feed) > 0 {
+				runTables = make(map[string][]dataset.Record, len(tables))
+				for k, v := range tables {
+					runTables[k] = v
+				}
+				runTables["source"] = c.static
+				feed := make(chan dataset.Record)
+				go func() {
+					defer close(feed)
+					for _, r := range c.feed {
+						feed <- r
+					}
+				}()
+				runCfg.Feed = feed
+			}
+			if _, err := p.Run(ctx, runCfg, runTables); err != nil {
 				return nil, fmt.Errorf("bench %s: %w", c.name, err)
 			}
 			if i == 0 {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// ScenarioStudyRow is one pre-built scenario's whole-run accounting on
+// the deterministic sim engine.
+type ScenarioStudyRow struct {
+	// ID and Name identify the scenario.
+	ID, Name string
+	// Turns and Checkpoints count the scenario's shape.
+	Turns, Checkpoints int
+	// Passed reports whether every checkpoint held.
+	Passed bool
+	// Calls and Tokens are the upstream truth for the whole run; on the
+	// sim engine both are deterministic and pinned in CI.
+	Calls, Tokens int
+	// SharedHits totals cache hits plus coalesced joins — the requests
+	// the shared execution layer absorbed.
+	SharedHits int
+	// Rows is the final pipeline turn's output-table width.
+	Rows int
+	// Wall is the scenario's elapsed time (not deterministic; reported
+	// for inspection only).
+	Wall time.Duration
+}
+
+// ScenarioStudyResult runs every pre-built scenario through the harness.
+type ScenarioStudyResult struct {
+	Rows []ScenarioStudyRow
+	// AllPassed is true when every scenario's every checkpoint held —
+	// the single bit CI gates on.
+	AllPassed bool
+}
+
+// ScenarioStudy drives all pre-built scenarios (internal/scenario.List)
+// against the deterministic sim engine and collects per-scenario
+// counters. Calls, tokens, shared hits, rows, and the pass verdicts are
+// deterministic — the CI pin; wall clocks are not.
+func ScenarioStudy(ctx context.Context) (*ScenarioStudyResult, error) {
+	h := scenario.New(scenario.Options{})
+	out := &ScenarioStudyResult{AllPassed: true}
+	for _, sc := range scenario.List() {
+		res, err := h.Run(ctx, sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario study: %s: %w", sc.ID, err)
+		}
+		row := ScenarioStudyRow{
+			ID: sc.ID, Name: sc.Name,
+			Turns: len(res.Turns), Checkpoints: len(res.Checkpoints),
+			Passed: res.Passed,
+			Calls:  res.TotalCalls, Tokens: res.TotalTokens,
+			SharedHits: res.SharedHits, Wall: res.Wall,
+		}
+		for _, tr := range res.Turns {
+			if tr.Kind == scenario.TurnQuery || tr.Kind == scenario.TurnBurst {
+				row.Rows = tr.Rows
+			}
+		}
+		if !res.Passed {
+			out.AllPassed = false
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// FormatScenarioStudy renders the study as a text table.
+func FormatScenarioStudy(res *ScenarioStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %6s %6s %8s %8s %8s %6s %10s  %s\n",
+		"Scenario", "Turns", "Chks", "Calls", "Tokens", "Shared", "Rows", "Wall", "Verdict")
+	for _, r := range res.Rows {
+		verdict := "PASS"
+		if !r.Passed {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-24s %6d %6d %8d %8d %8d %6d %10s  %s\n",
+			r.ID, r.Turns, r.Checkpoints, r.Calls, r.Tokens, r.SharedHits,
+			r.Rows, r.Wall.Round(time.Microsecond), verdict)
+	}
+	fmt.Fprintf(&b, "all scenarios passed: %v\n", res.AllPassed)
+	return b.String()
+}

@@ -32,6 +32,18 @@ type ExecConfig struct {
 	// Registry is the shared embedding-index registry. Nil builds a fresh
 	// one for the run, which already spans every stage.
 	Registry *embed.Registry
+	// Feed turns the run into a standing query: records received on the
+	// channel join the stream behind the static "source" table, in arrival
+	// order, while the pipeline is already executing — per-record stages
+	// re-evaluate incrementally chunk by chunk (reusing the adaptive
+	// chunker and, on the side-input overlap path, the spillable spool),
+	// and barrier stages simply see the longer stream. Run returns only
+	// after Feed is closed and fully drained, so the caller must feed and
+	// close the channel from another goroutine. Temperature-0 results
+	// after full ingestion are byte-identical to a batch run whose source
+	// table already contained the fed records (pinned by
+	// TestStandingQueryMatchesBatch). Nil runs the static table alone.
+	Feed <-chan dataset.Record
 	// Attribution is the per-stage ledger the run records into; nil builds
 	// a fresh one. Pass the same ledger (and Exec) to OptimizeProbed and
 	// Run so probe spend appears in the run's report under
@@ -379,7 +391,9 @@ func nextChunk(ctx context.Context, in <-chan dataset.Record, n int) (chunk []da
 // stream their unit tasks through one shared engine: one execution
 // layer, one embedding-index registry, one budget. Each stage's context
 // is tagged with its name, so the returned report attributes the shared
-// budget's spend stage by stage.
+// budget's spend stage by stage. With cfg.Feed set, the run is a
+// standing query: records arriving on the channel extend the source
+// stream mid-run, and Run returns after the feed closes and drains.
 func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]dataset.Record) (*Result, error) {
 	source, ok := tables["source"]
 	if !ok {
@@ -438,13 +452,32 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 	defer cancel()
 	var wg sync.WaitGroup
 
-	// Feed the materialized source table to its subscribers.
+	// Feed the materialized source table to its subscribers, then — for a
+	// standing query — the ingest channel until it closes. Fed records are
+	// not appended to root.table: the slice aliases the caller's "source"
+	// table, and consumers see every record through the stream either way.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer root.closeSubs()
 		for _, r := range root.table {
 			if !root.send(ctx, r) {
+				return
+			}
+		}
+		if cfg.Feed == nil {
+			return
+		}
+		for {
+			select {
+			case r, ok := <-cfg.Feed:
+				if !ok {
+					return
+				}
+				if !root.send(ctx, r) {
+					return
+				}
+			case <-ctx.Done():
 				return
 			}
 		}

@@ -37,7 +37,15 @@
 // and runs of adjacent commutable filters execute as segments whose
 // internal order is revised at chunk boundaries as observed keep rates
 // refine the optimizer's estimates — all with byte-identical
-// temperature-0 results. See docs/PIPELINE.md and docs/OPTIMIZER.md.
+// temperature-0 results.
+//
+// ExecConfig.Feed turns a run into a standing query: records arriving on
+// the channel while the pipeline executes join the stream behind the
+// static source table and are re-evaluated incrementally by the same
+// streaming machinery, with results after full ingestion byte-identical
+// to a batch run over the final record set. internal/scenario drives
+// standing queries under multi-turn traffic. See docs/PIPELINE.md,
+// docs/OPTIMIZER.md, and docs/SCENARIO.md.
 package pipeline
 
 import (

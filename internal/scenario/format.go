@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Format renders one scenario result as a text report: a turn table,
+// then each checkpoint's verdict, then the totals line.
+func Format(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (%s) on %s\n", res.ScenarioID, res.Name, res.Engine)
+	fmt.Fprintf(&b, "%-16s %-8s %8s %8s %8s %10s %6s  %s\n",
+		"Turn", "Kind", "Calls", "Tokens", "Shared", "Wall", "Rows", "Notes")
+	for _, tr := range res.Turns {
+		var notes []string
+		if tr.Identical != nil {
+			notes = append(notes, fmt.Sprintf("identical=%v", *tr.Identical))
+		}
+		for _, k := range sortedKeys(tr.Scalars) {
+			notes = append(notes, fmt.Sprintf("%s=%s", k, tr.Scalars[k]))
+		}
+		fmt.Fprintf(&b, "%-16s %-8s %8d %8d %8d %10s %6d  %s\n",
+			tr.Turn, tr.Kind, tr.Calls, tr.Tokens, tr.SharedHits,
+			tr.Wall.Round(time.Microsecond), tr.Rows, strings.Join(notes, " "))
+	}
+	for _, cp := range res.Checkpoints {
+		if cp.Pass {
+			fmt.Fprintf(&b, "checkpoint %-20s after %-16s PASS\n", cp.Checkpoint, cp.Turn)
+			continue
+		}
+		fmt.Fprintf(&b, "checkpoint %-20s after %-16s FAIL\n", cp.Checkpoint, cp.Turn)
+		for _, f := range cp.Failures {
+			fmt.Fprintf(&b, "  - %s\n", f)
+		}
+	}
+	verdict := "PASS"
+	if !res.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "total: %d calls, %d tokens, $%.4f, %d shared hits, %s — %s\n",
+		res.TotalCalls, res.TotalTokens, res.TotalCost, res.SharedHits,
+		res.Wall.Round(time.Microsecond), verdict)
+	return b.String()
+}

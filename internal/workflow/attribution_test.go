@@ -3,8 +3,10 @@ package workflow
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/llm"
 	"repro/internal/token"
@@ -88,5 +90,109 @@ func TestAttributionRecordsChargedErrors(t *testing.T) {
 	}
 	if u := attr.Usage("s"); u.Calls != 1 || u.Total() != 10 {
 		t.Fatalf("charged-error usage = %+v, want recorded", u)
+	}
+}
+
+// TestAttributionTimingAccumulates pins ObserveTiming's element-wise
+// aggregation and that timings live in their own namespace: a stage with
+// timings but no usage never appears in Stages().
+func TestAttributionTimingAccumulates(t *testing.T) {
+	attr := NewAttribution()
+	attr.ObserveTiming("scan", StageTiming{Service: 3 * time.Millisecond, Wait: time.Millisecond, Chunks: 2, Records: 10})
+	attr.ObserveTiming("scan", StageTiming{Service: time.Millisecond, Wait: 2 * time.Millisecond, Chunks: 1, Records: 5})
+	got := attr.Timing("scan")
+	want := StageTiming{Service: 4 * time.Millisecond, Wait: 3 * time.Millisecond, Chunks: 3, Records: 15}
+	if got != want {
+		t.Fatalf("Timing(scan) = %+v, want %+v", got, want)
+	}
+	if got := attr.Timing("never-observed"); got != (StageTiming{}) {
+		t.Fatalf("Timing(unknown) = %+v, want zero", got)
+	}
+	if stages := attr.Stages(); len(stages) != 0 {
+		t.Fatalf("Stages() = %v; timing-only labels must not leak into the usage ledger", stages)
+	}
+}
+
+// TestAttributionConcurrentHammer drives ObserveTiming, Record, and every
+// reader from many goroutines at once — the shape a parallel pipeline run
+// produces, with each stage goroutine feeding the shared ledger while the
+// run report polls it. Run under -race this doubles as the data-race
+// check; afterwards the sums must be exact, not approximately right.
+func TestAttributionConcurrentHammer(t *testing.T) {
+	attr := NewAttribution()
+	const (
+		stages  = 7
+		writers = 4   // goroutines per stage
+		rounds  = 250 // observations per goroutine
+	)
+	stageName := func(i int) string { return fmt.Sprintf("stage-%d", i) }
+	var wg sync.WaitGroup
+	for s := 0; s < stages; s++ {
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(stage string) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					attr.ObserveTiming(stage, StageTiming{
+						Service: time.Microsecond, Wait: 2 * time.Microsecond, Chunks: 1, Records: 3,
+					})
+					attr.Record(stage, "sim-gpt-3.5-turbo",
+						token.Usage{PromptTokens: 2, CompletionTokens: 1, Calls: 1})
+				}
+			}(stageName(s))
+		}
+	}
+	// Concurrent readers: exercise every accessor while writers run.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for s := 0; s < stages; s++ {
+					attr.Timing(stageName(s))
+					attr.Usage(stageName(s))
+					attr.Cost(stageName(s))
+				}
+				attr.Stages()
+				attr.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	perStage := writers * rounds
+	for s := 0; s < stages; s++ {
+		tm := attr.Timing(stageName(s))
+		want := StageTiming{
+			Service: time.Duration(perStage) * time.Microsecond,
+			Wait:    time.Duration(perStage) * 2 * time.Microsecond,
+			Chunks:  perStage,
+			Records: 3 * perStage,
+		}
+		if tm != want {
+			t.Fatalf("%s timing = %+v, want %+v (lost updates under concurrency)", stageName(s), tm, want)
+		}
+		if u := attr.Usage(stageName(s)); u.Calls != perStage || u.Total() != 3*perStage {
+			t.Fatalf("%s usage = %+v, want %d calls / %d tokens", stageName(s), u, perStage, 3*perStage)
+		}
+	}
+	total, cost := attr.Total()
+	if total.Calls != stages*perStage || total.Total() != 3*stages*perStage {
+		t.Fatalf("total = %+v, want %d calls / %d tokens", total, stages*perStage, 3*stages*perStage)
+	}
+	if cost <= 0 {
+		t.Fatalf("total cost = %v, want positive", cost)
+	}
+	if got := len(attr.Stages()); got != stages {
+		t.Fatalf("Stages() has %d labels, want %d", got, stages)
 	}
 }
