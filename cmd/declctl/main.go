@@ -54,6 +54,10 @@ func main() {
 	ixQueries := sub.Int("queries", 200, "timed queries for index-bench")
 	ixPartitions := sub.Int("partitions", 0, "ANN partitions for index-bench (0 = √N)")
 	ixProbes := sub.Int("probes", 0, "ANN probes per query for index-bench (0 = partitions/4)")
+	ixQuantize := sub.Bool("quantize", false, "also measure the int8-quantized tier for index-bench")
+	ixRerank := sub.Int("rerank", 0, "quantized shortlist multiplier for index-bench (0 = default)")
+	ixSeed := sub.Int64("seed", 7, "synthetic-corpus seed for index-bench")
+	ixFlat := sub.Bool("flat", false, "skip the ANN modes for index-bench (full-store scans only)")
 	specPath := sub.String("spec", "", "JSON pipeline spec file for pipeline (empty = built-in demo)")
 	plModel := sub.String("model", "sim-gpt-3.5-turbo", "model name for pipeline")
 	plNaive := sub.Bool("naive", false, "run the pipeline unoptimized with isolated per-stage engines")
@@ -68,17 +72,18 @@ func main() {
 	benchIters := sub.Int("iters", 3, "iterations per bench configuration")
 	scName := sub.String("name", "", "scenario ID to run for scenario (see -list)")
 	scList := sub.Bool("list", false, "list the pre-built scenarios for scenario")
-	// The scenario command's -json is a switch (emit the result as JSON);
-	// everywhere else it is the bench baseline's output path. One FlagSet
-	// serves every command, so the flag registers per command.
+	// For scenario and index-bench, -json is a switch (emit the result as
+	// JSON on stdout); everywhere else it is the bench baseline's output
+	// path. One FlagSet serves every command, so the flag registers per
+	// command.
 	var benchJSON *string
-	var scJSON *bool
-	if cmd == "scenario" {
-		scJSON = sub.Bool("json", false, "emit the scenario result as JSON")
+	var switchJSON *bool
+	if cmd == "scenario" || cmd == "index-bench" {
+		switchJSON = sub.Bool("json", false, "emit the result as JSON")
 		benchJSON = new(string)
 	} else {
 		benchJSON = sub.String("json", "", "write machine-readable bench results to this file (e.g. BENCH_PR5.json)")
-		scJSON = new(bool)
+		switchJSON = new(bool)
 	}
 	sub.Parse(flag.Args()[1:])
 
@@ -222,9 +227,19 @@ func main() {
 		rows, err := experiments.IndexBench(experiments.IndexBenchConfig{
 			N: *ixN, K: *ixK, Queries: *ixQueries,
 			Partitions: *ixPartitions, Probes: *ixProbes,
+			Quantize: *ixQuantize, RerankFactor: *ixRerank,
+			Seed: *ixSeed, FlatOnly: *ixFlat,
 		})
 		if err != nil {
 			return err
+		}
+		if *switchJSON {
+			raw, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
 		}
 		fmt.Print(experiments.FormatIndexBench(rows))
 		return nil
@@ -332,7 +347,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if *scJSON {
+		if *switchJSON {
 			raw, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {
 				return err
@@ -402,14 +417,22 @@ func main() {
 	case "exec-layer":
 		run("Execution layer: shared cache + coalescing + batching", execLayer)
 	case "index-bench":
-		run(fmt.Sprintf("Vector index: exact vs ANN (%d records)", *ixN), indexBench)
+		// JSON output stays machine-readable: no header or timing wrapper.
+		if *switchJSON {
+			if err := indexBench(); err != nil {
+				fmt.Fprintf(os.Stderr, "declctl: index-bench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			run(fmt.Sprintf("Vector index: exact / ANN / quantized (%d records)", *ixN), indexBench)
+		}
 	case "pipeline":
 		run("Pipeline: optimized operator DAG", runPipeline)
 	case "pipeline-study":
 		run("Pipeline study: naive sequential vs optimized DAG", pipelineStudy)
 	case "scenario":
 		// JSON output stays machine-readable: no header or timing wrapper.
-		if *scJSON {
+		if *switchJSON {
 			if err := runScenario(); err != nil {
 				fmt.Fprintf(os.Stderr, "declctl: scenario: %v\n", err)
 				os.Exit(1)
@@ -465,8 +488,11 @@ commands:
   ablate-templates     A9: comparison-template brittleness
   exec-layer      shared cache + coalescing + batching on a repeated
                   workload (-items N -repeats N -batch K)
-  index-bench     vector retrieval: queries/sec and recall, exact vs ANN
-                  (-n N -k K -queries Q -partitions P -probes R)
+  index-bench     vector retrieval: queries/sec, recall, and bytes/record
+                  for exact, ANN, and int8-quantized search over one
+                  shared synthetic corpus (-n N -k K -queries Q
+                  -partitions P -probes R -quantize -rerank F -seed S
+                  -flat skips ANN, -json emits machine-readable rows)
   pipeline        run a declarative operator DAG from a JSON spec with the
                   optimizer, record streaming, shared engine, and per-stage
                   attribution (-spec file.json -model M -batch K -naive

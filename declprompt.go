@@ -278,17 +278,24 @@ func CountTokens(s string) int { return token.Count(s) }
 // neighbour-augmentation pipelines.
 func NewEmbeddingIndex() *embed.Index { return embed.NewIndex(embed.Default()) }
 
-// EmbeddingIndexOptions configures NewEmbeddingIndexWith: ANN mode,
-// partition/probe counts, and the k-means seed. See docs/VECTOR.md for
-// the recall/speed trade-off.
+// EmbeddingIndexOptions configures NewEmbeddingIndexWith and
+// WithIndexOptions: ANN mode, partition/probe counts, the k-means seed,
+// and the int8-quantized tier (Quantize/RerankFactor). See
+// docs/VECTOR.md for the recall/speed trade-off.
 type EmbeddingIndexOptions = embed.IndexOptions
+
+// WithIndexOptions sets the index configuration the engine's k-NN
+// operators build (or fetch from a registry) their corpus indexes with —
+// enable ANN probing or the quantized distance tier for large corpora.
+func WithIndexOptions(opts EmbeddingIndexOptions) Option { return core.WithIndexOptions(opts) }
 
 // IndexItem is one (id, text) pair for batch insertion via Index.AddAll.
 type IndexItem = embed.Item
 
 // NewEmbeddingIndexWith returns a k-NN index over the default embedder
-// with explicit options — enable ANN for approximate sublinear queries
-// with a measured-recall knob (embed.Recall, `declctl index-bench`).
+// with explicit options — enable ANN for approximate sublinear queries,
+// or Quantize for int8-scored scans with exact re-ranking, each with a
+// measured-recall knob (embed.Recall, `declctl index-bench`).
 func NewEmbeddingIndexWith(opts EmbeddingIndexOptions) *embed.Index {
 	return embed.NewIndexWith(embed.Default(), opts)
 }

@@ -39,6 +39,7 @@ type Engine struct {
 	batch       int
 	attr        *workflow.Attribution
 	registry    *embed.Registry
+	ixOpts      embed.IndexOptions
 }
 
 // Option configures an Engine.
@@ -107,6 +108,15 @@ func WithAttribution(a *workflow.Attribution) Option {
 // keep one per service — to make corpus indexing a once-per-content cost.
 func WithIndexRegistry(r *embed.Registry) Option {
 	return func(e *Engine) { e.registry = r }
+}
+
+// WithIndexOptions sets the embed.IndexOptions the engine's k-NN indexes
+// are built with (default: exact search) — enable ANN probing or the
+// int8-quantized tier for large corpora. Options are part of the
+// registry slot key, so engines sharing one registry with different
+// configurations never serve each other's indexes.
+func WithIndexOptions(opts embed.IndexOptions) Option {
+	return func(e *Engine) { e.ixOpts = opts }
 }
 
 // New returns an engine using the given model.
@@ -185,9 +195,9 @@ func (s *session) usage() token.Usage { return s.counting.Total() }
 // fully, then query).
 func (e *Engine) index(items []embed.Item) *embed.Index {
 	if e.registry != nil {
-		return e.registry.Index(e.embedder, items)
+		return e.registry.IndexWith(e.embedder, items, e.ixOpts)
 	}
-	ix := embed.NewIndex(e.embedder)
+	ix := embed.NewIndexWith(e.embedder, e.ixOpts)
 	ix.AddAll(items)
 	return ix
 }

@@ -186,6 +186,38 @@ func TestRandomWords(t *testing.T) {
 	RandomWords(1<<20, 1)
 }
 
+func TestGenerateSyntheticTexts(t *testing.T) {
+	texts := GenerateSyntheticTexts(5000, 9)
+	if len(texts) != 5000 {
+		t.Fatalf("len = %d", len(texts))
+	}
+	for i, s := range texts {
+		if s == "" {
+			t.Fatalf("empty text at %d", i)
+		}
+	}
+	if !reflect.DeepEqual(texts, GenerateSyntheticTexts(5000, 9)) {
+		t.Fatal("GenerateSyntheticTexts not deterministic")
+	}
+	if reflect.DeepEqual(texts[:100], GenerateSyntheticTexts(100, 10)) {
+		t.Fatal("different seeds should give different corpora")
+	}
+	// The near-duplicate machinery must actually fire: a meaningful
+	// fraction of texts share their full prefix with an earlier text.
+	seen := make(map[string]bool)
+	dups := 0
+	for _, s := range texts {
+		fields := strings.Split(s, " ")
+		if seen[strings.Join(fields[:len(fields)-1], " ")] {
+			dups++
+		}
+		seen[s] = true
+	}
+	if dups < 500 {
+		t.Fatalf("only %d/5000 near-duplicate texts; generator should emit ~15%%+", dups)
+	}
+}
+
 func TestGenerateCitations(t *testing.T) {
 	cfg := CitationConfig{Entities: 200, Pairs: 800, PositiveFrac: 0.25, Seed: 11}
 	corpus := GenerateCitations(cfg)

@@ -232,7 +232,11 @@ func (pt *partitions) partitionOrder(q []float32) []int {
 // lists cover every point, so k ≥ N still returns everything). A
 // secondary entry is skipped when its primary partition is also probed —
 // an O(P) probed-set check, so per-query work stays proportional to the
-// candidates scanned rather than to the index size.
+// candidates scanned rather than to the index size. With the quantized
+// tier enabled, probe-list scoring runs through the integer kernel into a
+// shortlist that is re-ranked exactly (quant.go), so the probed
+// candidate set is identical in both modes and only the scan arithmetic
+// changes.
 func (ix *Index) annSearch(q []float32, k, skip int) []Neighbor {
 	pt := ix.ensurePartitions()
 	order := pt.partitionOrder(q)
@@ -254,6 +258,24 @@ func (ix *Index) annSearch(q []float32, k, skip int) []Neighbor {
 		chosen = append(chosen, c)
 		probed[c] = true
 		seen += len(pt.members[c])
+	}
+	if ix.opts.Quantize && len(ix.ids) >= quantMinPoints {
+		qz := ix.ensureQuantized()
+		qRow, qNorm := qz.encodeQuery(q)
+		sl := ix.newShortlist(k)
+		for _, c := range chosen {
+			for _, j := range pt.members[c] {
+				if int(j) != skip {
+					sl.push(int(j), qz.codeD2(qNorm, qRow, int(j)))
+				}
+			}
+			for _, j := range pt.secondary[c] {
+				if int(j) != skip && !probed[pt.primary[j]] {
+					sl.push(int(j), qz.codeD2(qNorm, qRow, int(j)))
+				}
+			}
+		}
+		return ix.rerank(q, k, sl.positions())
 	}
 	t := newTopK(k)
 	for _, c := range chosen {

@@ -3,7 +3,10 @@ package embed
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
+
+	"repro/internal/dataset"
 )
 
 // seedIndex replicates the seed repository's index verbatim — per-item
@@ -161,6 +164,57 @@ func BenchmarkEmbed(b *testing.B) {
 			e.Embed(text)
 		}
 	})
+}
+
+// scanBench holds one shared N=100k store for the flat-vs-quantized scan
+// benchmarks: the corpus is embedded once per binary run, and the
+// quantized side is a WithOptions view over the same float32 vectors.
+var scanBench struct {
+	once    sync.Once
+	exact   *Index
+	quant   *Index
+	queries [][]float32
+}
+
+func scanBenchSetup(b *testing.B) {
+	b.Helper()
+	scanBench.once.Do(func() {
+		const n = 100000
+		texts := dataset.GenerateSyntheticTexts(n+64, 11)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: fmt.Sprintf("s%d", i), Text: texts[i]}
+		}
+		ix := NewIndex(Default())
+		ix.AddAll(items)
+		scanBench.exact = ix
+		scanBench.quant = ix.WithOptions(IndexOptions{Quantize: true})
+		scanBench.quant.ensureQuantized()
+		for _, q := range texts[n:] {
+			scanBench.queries = append(scanBench.queries, ix.embed32(q))
+		}
+	})
+}
+
+// BenchmarkFlatScan is the exact float32 heap scan over 100k records —
+// the baseline the quantized tier's ≥2x QPS acceptance bar is measured
+// against.
+func BenchmarkFlatScan(b *testing.B) {
+	scanBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanBench.exact.search(scanBench.queries[i%len(scanBench.queries)], 10, -1)
+	}
+}
+
+// BenchmarkQuantizedScan is the int8 shortlist + exact re-rank scan over
+// the same 100k records and queries as BenchmarkFlatScan.
+func BenchmarkQuantizedScan(b *testing.B) {
+	scanBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanBench.quant.search(scanBench.queries[i%len(scanBench.queries)], 10, -1)
+	}
 }
 
 // BenchmarkIndexBuild measures parallel AddAll against sequential Add at

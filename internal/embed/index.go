@@ -45,6 +45,20 @@ type IndexOptions struct {
 	Probes int
 	// Seed drives the deterministic k-means initialisation (default 1).
 	Seed int64
+	// Quantize enables the int8 scalar-quantized distance tier (quant.go):
+	// candidate scoring runs over a blocked []int8 code array — 4x less
+	// scan traffic than float32 — and the RerankFactor*k quantized
+	// shortlist is re-ranked with exact float32 distances. At the default
+	// RerankFactor the final top-k is pinned byte-identical to the exact
+	// scan on the sim corpora (TestQuantizedRerankMatchesExactTopK);
+	// combined with ANN, partition probe lists are scored through the
+	// quantized kernel. Within and Blocks always use exact distances.
+	Quantize bool
+	// RerankFactor is the quantized shortlist multiplier: the scan keeps
+	// RerankFactor*k candidates by quantized distance, then re-ranks them
+	// exactly (default DefaultRerankFactor). Raise it to trade speed back
+	// for fidelity headroom on corpora with adversarially tight margins.
+	RerankFactor int
 }
 
 // Index is a k-NN index over embedded texts. Vectors live in a single
@@ -59,11 +73,13 @@ type Index struct {
 	data     []float32 // len(ids) × dim, row-major
 	byID     map[string]int
 	opts     IndexOptions
-	// part is built lazily on the first query needing it and discarded
-	// on mutation. Atomic pointer + build mutex so concurrent queries
-	// (allowed once mutation stops) race-freely share one build.
-	part   atomic.Pointer[partitions]
-	partMu sync.Mutex
+	// part and quant are built lazily on the first query needing them and
+	// discarded on mutation. Atomic pointer + build mutex so concurrent
+	// queries (allowed once mutation stops) race-freely share one build.
+	part    atomic.Pointer[partitions]
+	partMu  sync.Mutex
+	quant   atomic.Pointer[quantized]
+	quantMu sync.Mutex
 }
 
 // NewIndex returns an empty exact-search index using the given embedder.
@@ -77,6 +93,30 @@ func NewIndexWith(e Embedder, opts IndexOptions) *Index {
 	}
 	return &Index{embedder: e, dim: e.Dim(), byID: make(map[string]int), opts: opts}
 }
+
+// WithOptions returns a queryable view of a fully built index under
+// different search options, sharing the contiguous vector store, id
+// table, and — where the options agree — the lazily built tier
+// structures: the quantized code array always transfers (it depends only
+// on the stored vectors), and the partition structure transfers when
+// Partitions and Seed match (Probes, Quantize, and RerankFactor are
+// query-time knobs). Neither the receiver nor the view may be mutated
+// afterwards; this is the cheap way to compare search modes over one
+// embedded corpus (see `declctl index-bench`).
+func (ix *Index) WithOptions(opts IndexOptions) *Index {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	view := &Index{embedder: ix.embedder, dim: ix.dim, ids: ix.ids, data: ix.data, byID: ix.byID, opts: opts}
+	view.quant.Store(ix.quant.Load())
+	if opts.Partitions == ix.opts.Partitions && opts.Seed == ix.opts.Seed {
+		view.part.Store(ix.part.Load())
+	}
+	return view
+}
+
+// Options returns the index's resolved search options.
+func (ix *Index) Options() IndexOptions { return ix.opts }
 
 // Len returns the number of indexed items.
 func (ix *Index) Len() int { return len(ix.ids) }
@@ -94,6 +134,7 @@ func (ix *Index) insert(id string, v []float64) {
 		panic(fmt.Sprintf("embed: vector length %d does not match index dim %d", len(v), ix.dim))
 	}
 	ix.part.Store(nil)
+	ix.quant.Store(nil)
 	if pos, ok := ix.byID[id]; ok {
 		dst := ix.vec(pos)
 		for i, x := range v {
@@ -197,11 +238,14 @@ func (ix *Index) DistanceByID(a, b string) (float64, bool) {
 	return math.Sqrt(float64(l2sq32(ix.vec(pa), ix.vec(pb)))), true
 }
 
-// search dispatches a query vector to the ANN or exact path. skip is a
-// position to exclude (-1 for none).
+// search dispatches a query vector to the ANN, quantized, or exact path.
+// skip is a position to exclude (-1 for none).
 func (ix *Index) search(q []float32, k, skip int) []Neighbor {
 	if ix.opts.ANN && len(ix.ids) >= annMinPoints {
 		return ix.annSearch(q, k, skip)
+	}
+	if ix.opts.Quantize && len(ix.ids) >= quantMinPoints {
+		return ix.quantFlatSearch(q, k, skip)
 	}
 	t := newTopK(k)
 	for i := 0; i < len(ix.ids); i++ {
@@ -213,27 +257,35 @@ func (ix *Index) search(q []float32, k, skip int) []Neighbor {
 	return t.neighbors(ix.ids)
 }
 
-// topK is a bounded max-heap over (squared distance, insertion position):
+// bounded is a k-bounded max-heap over (distance, insertion position):
 // the root is the worst candidate kept, so a closer candidate replaces it
 // in O(log k). Ties order by position, reproducing the stable-sort
-// ranking of the previous full-sort implementation.
-type topK struct {
+// ranking of the previous full-sort implementation. The distance type is
+// generic so the float32 exact path and the int64 quantized shortlist
+// share one sift implementation.
+type bounded[D int64 | float32] struct {
 	k   int
 	idx []int
-	d2  []float32
+	d2  []D
+}
+
+// topK is the float32 squared-distance instantiation used by the exact
+// scan, ANN probing, and the re-rank pass.
+type topK struct {
+	bounded[float32]
 }
 
 func newTopK(k int) *topK {
-	return &topK{k: k, idx: make([]int, 0, k), d2: make([]float32, 0, k)}
+	return &topK{bounded[float32]{k: k, idx: make([]int, 0, k), d2: make([]float32, 0, k)}}
 }
 
 // after reports whether candidate a ranks strictly after candidate b
 // (farther, or equally far but inserted later).
-func (t *topK) after(ai int, ad2 float32, bi int, bd2 float32) bool {
+func (t *bounded[D]) after(ai int, ad2 D, bi int, bd2 D) bool {
 	return ad2 > bd2 || (ad2 == bd2 && ai > bi)
 }
 
-func (t *topK) push(i int, d2 float32) {
+func (t *bounded[D]) push(i int, d2 D) {
 	if len(t.idx) < t.k {
 		t.idx = append(t.idx, i)
 		t.d2 = append(t.d2, d2)
@@ -272,6 +324,11 @@ func (t *topK) push(i int, d2 float32) {
 		p = c
 	}
 }
+
+// positions returns the kept candidate positions in unspecified order —
+// the quantized shortlist handed to the exact re-rank pass, whose
+// (distance, position) ordering is insensitive to push order.
+func (t *bounded[D]) positions() []int { return t.idx }
 
 // neighbors drains the heap into a closest-first Neighbor slice.
 func (t *topK) neighbors(ids []string) []Neighbor {

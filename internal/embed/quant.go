@@ -1,0 +1,222 @@
+package embed
+
+import "math"
+
+// The int8 scalar-quantized distance tier (IndexOptions.Quantize).
+//
+// Candidate scoring is the memory-bound half of every k-NN query: a flat
+// scan at N=1M touches a gigabyte of float32 per query. This tier encodes
+// the store into a blocked []int8 code array — 4x less scan traffic —
+// scores candidates with an integer dot-product kernel (SSE2 assembly on
+// amd64, a pure-Go loop elsewhere), keeps a RerankFactor*k shortlist by
+// quantized distance, and re-ranks the shortlist with exact float32
+// distances so the final ranking (ties included) is decided by the same
+// arithmetic as the exact scan. The quantized ordering only has to place
+// the true top-k inside the shortlist — a measured property, pinned like
+// ANN recall (TestQuantizedRecall, TestQuantizedRerankMatchesExactTopK).
+
+// quantMinPoints is the index size below which quantized queries fall
+// back to the exact scan: encoding and shortlisting a tiny index costs
+// more than reading it whole (same rationale as annMinPoints).
+const quantMinPoints = 64
+
+// DefaultRerankFactor is the shortlist multiplier when
+// IndexOptions.RerankFactor is unset: 4k quantized candidates re-ranked
+// exactly per top-k query. It measures byte-identical final top-k against
+// the exact scan across the sim corpora.
+const DefaultRerankFactor = 4
+
+// quantBlock is the code-row alignment: rows are zero-padded to a
+// multiple of 16 bytes so the SIMD kernel consumes whole 16-lane blocks
+// with no scalar tail, and successive rows stay cache-line friendly.
+// Padding code 0 contributes nothing to dot products or norms because
+// query rows carry the same zero padding.
+const quantBlock = 16
+
+// quantized is the scalar-quantization view over an index's float32
+// store: one global affine grid (x ≈ lo + scale·(code+128)) chosen from
+// the store's min/max, int8 codes in a blocked row-major array, and
+// precomputed per-row code norms so the scoring kernel reduces to one
+// integer dot product per candidate:
+//
+//	Σ(cq−cv)² = |cq|² + |cv|² − 2·cq·cv
+//
+// Distances in code units are monotone in the dequantized approximation
+// (one shared scale), which is all shortlist ranking needs; the exact
+// re-rank never consults them again.
+type quantized struct {
+	dim    int
+	stride int     // dim rounded up to a multiple of quantBlock
+	lo     float32 // grid origin: minimum stored component
+	scale  float32 // grid step: (max − lo) / 255
+	codes  []int8  // n × stride, row-major, padding zeroed
+	norms  []int32 // per-row Σ code²
+}
+
+func (qz *quantized) row(i int) []int8 {
+	return qz.codes[i*qz.stride : (i+1)*qz.stride]
+}
+
+// encode maps one component onto the grid, clamping values outside
+// [lo, lo+255·scale] — stored values never clamp (the grid spans the
+// store); query components can.
+func (qz *quantized) encode(x float32) int8 {
+	c := int(math.Round(float64((x - qz.lo) / qz.scale)))
+	if c < 0 {
+		c = 0
+	} else if c > 255 {
+		c = 255
+	}
+	return int8(c - 128)
+}
+
+// buildQuantized encodes the full store. One pass for the grid bounds,
+// one for the codes and norms — O(N·dim), run once per built index.
+func buildQuantized(ix *Index) *quantized {
+	n := len(ix.ids)
+	stride := (ix.dim + quantBlock - 1) / quantBlock * quantBlock
+	qz := &quantized{dim: ix.dim, stride: stride}
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, x := range ix.data {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	qz.lo, qz.scale = lo, (hi-lo)/255
+	if !(qz.scale > 0) { // constant (or empty) store: any positive step works
+		qz.lo, qz.scale = lo, 1
+	}
+	qz.codes = make([]int8, n*stride)
+	qz.norms = make([]int32, n)
+	for i := 0; i < n; i++ {
+		row := qz.row(i)
+		var norm int32
+		for d, x := range ix.vec(i) {
+			c := qz.encode(x)
+			row[d] = c
+			norm += int32(c) * int32(c)
+		}
+		qz.norms[i] = norm
+	}
+	return qz
+}
+
+// encodeQuery quantizes a query vector onto the store's grid, returning
+// the padded code row and its norm.
+func (qz *quantized) encodeQuery(q []float32) ([]int8, int32) {
+	row := make([]int8, qz.stride)
+	var norm int32
+	for d, x := range q {
+		c := qz.encode(x)
+		row[d] = c
+		norm += int32(c) * int32(c)
+	}
+	return row, norm
+}
+
+// codeD2 is the squared L2 distance in code units between an encoded
+// query and stored row i. int64 keeps the norm identity overflow-free at
+// any dimensionality.
+func (qz *quantized) codeD2(qNorm int32, qRow []int8, i int) int64 {
+	return int64(qNorm) + int64(qz.norms[i]) - 2*int64(codeDot(qRow, qz.row(i)))
+}
+
+// ensureQuantized builds the code array on first use. Mutation
+// (Add/AddAll) discards it, so a build-then-query workload pays once.
+// Safe for concurrent queries: the first caller builds under the mutex,
+// later callers take the lock-free atomic load.
+func (ix *Index) ensureQuantized() *quantized {
+	if qz := ix.quant.Load(); qz != nil {
+		return qz
+	}
+	ix.quantMu.Lock()
+	defer ix.quantMu.Unlock()
+	if qz := ix.quant.Load(); qz != nil {
+		return qz
+	}
+	qz := buildQuantized(ix)
+	ix.quant.Store(qz)
+	return qz
+}
+
+// rerankFactor resolves the configured shortlist multiplier.
+func (ix *Index) rerankFactor() int {
+	if ix.opts.RerankFactor > 0 {
+		return ix.opts.RerankFactor
+	}
+	return DefaultRerankFactor
+}
+
+// newShortlist returns the bounded heap collecting the quantized
+// candidate shortlist for a top-k query.
+func (ix *Index) newShortlist(k int) *bounded[int64] {
+	short := ix.rerankFactor() * k
+	return &bounded[int64]{k: short, idx: make([]int, 0, short), d2: make([]int64, 0, short)}
+}
+
+// rerank scores shortlisted candidates with exact float32 distances
+// through the same bounded heap as the exact scan, so the returned top-k
+// — distances, ordering, and tie-breaks — is byte-identical to a full
+// exact scan whenever the shortlist contains the true top-k.
+func (ix *Index) rerank(q []float32, k int, cand []int) []Neighbor {
+	t := newTopK(k)
+	for _, i := range cand {
+		t.push(i, l2sq32(q, ix.vec(i)))
+	}
+	return t.neighbors(ix.ids)
+}
+
+// quantFlatSearch is the flat-index quantized path: one integer-kernel
+// pass over every code row builds the shortlist, then the shortlist is
+// re-ranked exactly. ANN mode scores partition probe lists through the
+// same kernel (see annSearch).
+func (ix *Index) quantFlatSearch(q []float32, k, skip int) []Neighbor {
+	qz := ix.ensureQuantized()
+	qRow, qNorm := qz.encodeQuery(q)
+	sl := ix.newShortlist(k)
+	for i := 0; i < len(ix.ids); i++ {
+		if i == skip {
+			continue
+		}
+		sl.push(i, qz.codeD2(qNorm, qRow, i))
+	}
+	return ix.rerank(q, k, sl.positions())
+}
+
+// ScanBytesPerRecord reports the bytes of vector data a candidate scan
+// touches per record under the given options — the working-set metric
+// `declctl index-bench` reports as bytes/record (dim·4 for float32 scans,
+// the padded code-row stride for the quantized tier). The quantized index
+// retains the float32 store for exact re-ranking, so resident memory is
+// 1.25x a float-only index while scan traffic drops 4x.
+func ScanBytesPerRecord(opts IndexOptions, dim int) int {
+	if opts.Quantize {
+		return (dim + quantBlock - 1) / quantBlock * quantBlock
+	}
+	return dim * 4
+}
+
+// codeDotGeneric is the portable integer dot-product kernel: int32
+// accumulation over sign-extended int8 lanes, four independent
+// accumulators so the loop pipelines (and auto-vectorizes under
+// compilers that do). The amd64 build replaces it with an SSE2 kernel
+// (quant_amd64.s) processing 16 lanes per iteration; both require
+// len(a) == len(b) and benefit from quantBlock-aligned lengths.
+func codeDotGeneric(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}

@@ -1,0 +1,27 @@
+//go:build amd64 && !purego
+
+package embed
+
+// codeDot returns Σ a[i]·b[i] over int8 lanes via the SSE2 kernel in
+// quant_amd64.s — sign-extend 16 bytes per iteration with the
+// unpack/arithmetic-shift idiom, PMADDWD into four int32 accumulators.
+// SSE2 is the amd64 baseline, so no CPU feature detection is needed.
+// Lengths must match; the kernel consumes 16-lane blocks (quantized rows
+// are quantBlock-padded) and codeDotGeneric covers any scalar tail.
+func codeDot(a, b []int8) int32 {
+	n := len(a) &^ (quantBlock - 1)
+	var s int32
+	if n > 0 {
+		s = codeDotSSE2(&a[0], &b[0], n)
+	}
+	if n < len(a) {
+		s += codeDotGeneric(a[n:], b[n:len(a)])
+	}
+	return s
+}
+
+// codeDotSSE2 is implemented in quant_amd64.s. n must be a positive
+// multiple of 16.
+//
+//go:noescape
+func codeDotSSE2(a, b *int8, n int) int32

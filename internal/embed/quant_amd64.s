@@ -1,0 +1,62 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func codeDotSSE2(a, b *int8, n int) int32
+//
+// Integer dot product over int8 lanes, 16 per iteration:
+//
+//   load 16 bytes of a and b            (MOVOU)
+//   sign-extend each half to 8×int16    (PUNPCK{L,H}BW self + PSRAW $8)
+//   multiply-accumulate pairs to int32  (PMADDWL)
+//   accumulate                          (PADDL into X7)
+//
+// Per-lane products are ≤ 128², PMADDWL pairs stay well inside int32,
+// and the four int32 accumulator lanes hold Σ|a·b| for any dimension the
+// embedders produce (overflow needs dim > 2³¹/(2·128²) ≈ 65k per lane).
+// n must be a positive multiple of 16; rows are quantBlock-padded so the
+// Go wrapper only routes aligned blocks here.
+TEXT ·codeDotSSE2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	PXOR X7, X7
+
+loop:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+
+	// Low 8 lanes: duplicate each byte into both halves of its word,
+	// then arithmetic-shift right 8 to sign-extend.
+	MOVOA     X0, X2
+	PUNPCKLBW X2, X2
+	PSRAW     $8, X2
+	MOVOA     X1, X3
+	PUNPCKLBW X3, X3
+	PSRAW     $8, X3
+	PMADDWL   X3, X2
+	PADDL     X2, X7
+
+	// High 8 lanes.
+	MOVOA     X0, X4
+	PUNPCKHBW X4, X4
+	PSRAW     $8, X4
+	MOVOA     X1, X5
+	PUNPCKHBW X5, X5
+	PSRAW     $8, X5
+	PMADDWL   X5, X4
+	PADDL     X4, X7
+
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JG   loop
+
+	// Horizontal sum of the four int32 accumulator lanes.
+	PSHUFD $0xEE, X7, X0
+	PADDL  X0, X7
+	PSHUFD $0x55, X7, X0
+	PADDL  X0, X7
+	MOVQ   X7, AX
+	MOVL   AX, ret+24(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package embed
+
+// codeDot falls back to the portable integer kernel off amd64 (or under
+// the purego build tag).
+func codeDot(a, b []int8) int32 { return codeDotGeneric(a, b) }

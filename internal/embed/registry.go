@@ -6,16 +6,34 @@ import (
 	"sync"
 )
 
-// registryKey identifies a corpus by content: the embedding dimensionality,
-// an embedder fingerprint, and a 128-bit hash over the (id, text) pairs in
-// order. Two calls with the same items and an equivalent embedder —
-// regardless of which operator or pipeline stage makes them — resolve to
-// the same key and therefore the same built index.
+// registryKey identifies a corpus by content and index configuration:
+// the embedding dimensionality, an embedder fingerprint, the normalised
+// IndexOptions, and a 128-bit hash over the (id, text) pairs in order.
+// Two calls with the same items, an equivalent embedder, and equivalent
+// options — regardless of which operator or pipeline stage makes them —
+// resolve to the same key and therefore the same built index; a
+// quantized and an exact index over the same corpus never share a slot.
 type registryKey struct {
 	dim         int
 	n           int
 	fingerprint uint64
+	opts        IndexOptions
 	hash        [16]byte
+}
+
+// normalized maps an IndexOptions to its canonical form — defaults
+// resolved the way index construction resolves them — so configurations
+// that build identical indexes share one registry slot ({} and {Seed: 1}
+// are the same index; {RerankFactor: 0} and {RerankFactor:
+// DefaultRerankFactor} score identically).
+func (o IndexOptions) normalized() IndexOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RerankFactor == 0 {
+		o.RerankFactor = DefaultRerankFactor
+	}
+	return o
 }
 
 // registryEntry guards one index build: the first requester builds inside
@@ -25,13 +43,13 @@ type registryEntry struct {
 	ix   *Index
 }
 
-// Registry caches built indexes keyed by corpus content and by an
-// embedder fingerprint (the embedding of a fixed probe text), so stages
-// of one pipeline (and repeated planner profiling passes) that index the
-// same corpus with equivalent embedders embed it exactly once, while
-// engines sharing a registry with *different* embedder configurations
-// never serve each other's vectors. Indexes are exact-search, built with
-// default options.
+// Registry caches built indexes keyed by corpus content, by an embedder
+// fingerprint (the embedding of a fixed probe text), and by normalised
+// IndexOptions, so stages of one pipeline (and repeated planner
+// profiling passes) that index the same corpus with equivalent embedders
+// and options embed it exactly once, while engines sharing a registry
+// with *different* embedder or index configurations — exact vs ANN vs
+// quantized — never serve each other's vectors.
 //
 // Returned indexes are shared: treat them as immutable and query-only
 // (Index is safe for concurrent queries once mutation stops, which the
@@ -51,7 +69,7 @@ func NewRegistry() *Registry {
 
 // keyOf hashes the corpus content. FNV-128a over length-prefixed fields
 // keeps distinct corpora from colliding by concatenation tricks.
-func keyOf(em Embedder, items []Item) registryKey {
+func keyOf(em Embedder, items []Item, opts IndexOptions) registryKey {
 	h := fnv.New128a()
 	var lenBuf [8]byte
 	writeStr := func(s string) {
@@ -66,7 +84,7 @@ func keyOf(em Embedder, items []Item) registryKey {
 		writeStr(it.ID)
 		writeStr(it.Text)
 	}
-	key := registryKey{dim: em.Dim(), n: len(items), fingerprint: fingerprint(em)}
+	key := registryKey{dim: em.Dim(), n: len(items), fingerprint: fingerprint(em), opts: opts.normalized()}
 	h.Sum(key.hash[:0])
 	return key
 }
@@ -88,11 +106,19 @@ func fingerprint(em Embedder) uint64 {
 	return h.Sum64()
 }
 
-// Index returns a shared index over exactly these items, building it on
-// first request (embedding parallelised via AddAll) and serving every
-// later request for the same corpus from cache.
+// Index returns a shared exact-search index over exactly these items,
+// building it on first request (embedding parallelised via AddAll) and
+// serving every later request for the same corpus from cache.
 func (r *Registry) Index(em Embedder, items []Item) *Index {
-	key := keyOf(em, items)
+	return r.IndexWith(em, items, IndexOptions{})
+}
+
+// IndexWith is Index with explicit IndexOptions (ANN mode, quantized
+// tier, partition/probe/rerank knobs). Options are part of the slot key
+// in normalised form, so a quantized and an exact request over the same
+// corpus build — and keep — separate indexes.
+func (r *Registry) IndexWith(em Embedder, items []Item, opts IndexOptions) *Index {
+	key := keyOf(em, items, opts)
 	r.mu.Lock()
 	e, ok := r.entries[key]
 	if !ok {
@@ -103,7 +129,7 @@ func (r *Registry) Index(em Embedder, items []Item) *Index {
 
 	built := false
 	e.once.Do(func() {
-		ix := NewIndex(em)
+		ix := NewIndexWith(em, opts)
 		ix.AddAll(items)
 		e.ix = ix
 		built = true

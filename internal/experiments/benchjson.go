@@ -37,13 +37,17 @@ type BenchRow struct {
 
 // BenchReport is the versioned envelope declctl bench writes (e.g. to
 // BENCH_PR5.json), so future PRs can diff perf trajectories without
-// scraping go test -bench output. ns_per_op is machine-dependent; the
-// call and cache counters are deterministic for a given workload.
+// scraping go test -bench output. ns_per_op, build_ms, and qps are
+// machine-dependent; the call/cache counters and the index rows'
+// config, recall, and bytes_per_record fields are deterministic for a
+// given workload. Schema pipeline-bench/v2 added the index_benchmarks
+// section (the quantized-tier study of `declctl index-bench`).
 type BenchReport struct {
-	Schema     string     `json:"schema"`
-	Go         string     `json:"go"`
-	Workload   string     `json:"workload"`
-	Benchmarks []BenchRow `json:"benchmarks"`
+	Schema          string          `json:"schema"`
+	Go              string          `json:"go"`
+	Workload        string          `json:"workload"`
+	Benchmarks      []BenchRow      `json:"benchmarks"`
+	IndexBenchmarks []IndexBenchRow `json:"index_benchmarks"`
 }
 
 // benchWorkload mirrors internal/pipeline's benchmark shape: a
@@ -103,7 +107,7 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 	}
 
 	report := &BenchReport{
-		Schema:   "pipeline-bench/v1",
+		Schema:   "pipeline-bench/v2",
 		Go:       runtime.Version(),
 		Workload: "restaurants 12 source / 40 train, resolve->filter->impute",
 	}
@@ -165,6 +169,21 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 			SoloRetries:    stats.SoloRetries,
 		})
 	}
+
+	// Index benchmarks: a small run exercising every mode, plus the
+	// flat-only N=100k run that commits the quantized-scan ≥2x speedup
+	// evidence (qps is machine-dependent and stripped by the CI diff; the
+	// recall and bytes_per_record columns are the deterministic part).
+	for _, icfg := range []IndexBenchConfig{
+		{N: 2000, K: 10, Queries: 100, Quantize: true, Seed: 7},
+		{N: 100000, K: 10, Queries: 20, Quantize: true, FlatOnly: true, Seed: 7},
+	} {
+		rows, err := IndexBench(icfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench index n=%d: %w", icfg.N, err)
+		}
+		report.IndexBenchmarks = append(report.IndexBenchmarks, rows...)
+	}
 	return report, nil
 }
 
@@ -186,6 +205,16 @@ func FormatBenchReport(report *BenchReport) string {
 		fmt.Fprintf(&b, "%-34s %12d %8d %8d %10d %8d %8d\n",
 			row.Name, row.NsPerOp, row.UpstreamCalls, row.UpstreamTokens,
 			row.CacheHits, row.Batches, row.SoloRetries)
+	}
+	// One index table per corpus size (rows arrive grouped by run).
+	for i := 0; i < len(report.IndexBenchmarks); {
+		j := i
+		for j < len(report.IndexBenchmarks) && report.IndexBenchmarks[j].N == report.IndexBenchmarks[i].N {
+			j++
+		}
+		fmt.Fprintf(&b, "\nindex n=%d:\n%s", report.IndexBenchmarks[i].N,
+			FormatIndexBench(report.IndexBenchmarks[i:j]))
+		i = j
 	}
 	return b.String()
 }
