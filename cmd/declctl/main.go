@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/dataset"
@@ -70,6 +71,8 @@ func main() {
 	plRecords := sub.Int("records", 24, "base source records for pipeline-study")
 	plDup := sub.Float64("dup", 0.4, "duplicated fraction for pipeline-study")
 	benchIters := sub.Int("iters", 3, "iterations per bench configuration")
+	stateDir := sub.String("state-dir", "",
+		"persistent-state directory: bench and index-bench warm-load saved indexes from it (building and saving on the first run); cache-compact rewrites its cache log")
 	scName := sub.String("name", "", "scenario ID to run for scenario (see -list)")
 	scList := sub.Bool("list", false, "list the pre-built scenarios for scenario")
 	// For scenario and index-bench, -json is a switch (emit the result as
@@ -228,7 +231,7 @@ func main() {
 			N: *ixN, K: *ixK, Queries: *ixQueries,
 			Partitions: *ixPartitions, Probes: *ixProbes,
 			Quantize: *ixQuantize, RerankFactor: *ixRerank,
-			Seed: *ixSeed, FlatOnly: *ixFlat,
+			Seed: *ixSeed, FlatOnly: *ixFlat, StateDir: *stateDir,
 		})
 		if err != nil {
 			return err
@@ -373,7 +376,7 @@ func main() {
 		return nil
 	}
 	bench := func() error {
-		report, err := experiments.PipelineBench(ctx, *benchIters)
+		report, err := experiments.PipelineBench(ctx, *benchIters, *stateDir)
 		if err != nil {
 			return err
 		}
@@ -384,6 +387,44 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *benchJSON)
 		}
+		return nil
+	}
+
+	cacheCompact := func() error {
+		if *stateDir == "" {
+			return fmt.Errorf("cache-compact needs -state-dir <dir> (the directory holding %s)", workflow.CacheLogName)
+		}
+		path := filepath.Join(*stateDir, workflow.CacheLogName)
+		if _, err := os.Stat(path); err != nil {
+			return fmt.Errorf("no cache log at %s: %w", path, err)
+		}
+		lg, err := workflow.OpenCacheLog(path)
+		if err != nil {
+			return err
+		}
+		defer lg.Close()
+		cache := workflow.NewCache(0)
+		rs, err := lg.Replay(cache)
+		if err != nil {
+			return err
+		}
+		if rs.Recovered {
+			fmt.Printf("recovered torn tail: dropped %d trailing bytes\n", rs.DroppedBytes)
+		}
+		live, _ := cache.Stats()
+		before := lg.Stats()
+		ratio := 1.0
+		if before.Records > 0 {
+			ratio = float64(live) / float64(before.Records)
+		}
+		fmt.Printf("before: %d records (%d live, %.3f live ratio), %d bytes\n",
+			before.Records, live, ratio, before.Bytes)
+		if err := lg.Compact(cache); err != nil {
+			return err
+		}
+		after := lg.Stats()
+		fmt.Printf("after:  %d records, %d bytes (reclaimed %d)\n",
+			after.Records, after.Bytes, before.Bytes-after.Bytes)
 		return nil
 	}
 
@@ -444,6 +485,8 @@ func main() {
 		run("Scenario study: all pre-built scenarios on the sim engine", scenarioStudy)
 	case "bench":
 		run(fmt.Sprintf("Pipeline bench: %d iterations per configuration", *benchIters), bench)
+	case "cache-compact":
+		run("Cache log: replay, stats, compaction", cacheCompact)
 	case "all":
 		run("Table 1: sorting 20 flavours", table1)
 		run("Table 2: sorting 100 words (sort then insert)", table2)
@@ -492,7 +535,9 @@ commands:
                   for exact, ANN, and int8-quantized search over one
                   shared synthetic corpus (-n N -k K -queries Q
                   -partitions P -probes R -quantize -rerank F -seed S
-                  -flat skips ANN, -json emits machine-readable rows)
+                  -flat skips ANN, -json emits machine-readable rows,
+                  -state-dir D persists the index and warm-loads it on
+                  repeat runs)
   pipeline        run a declarative operator DAG from a JSON spec with the
                   optimizer, record streaming, shared engine, and per-stage
                   attribution (-spec file.json -model M -batch K -naive
@@ -512,7 +557,11 @@ commands:
                   call/token/cache counters with pass verdicts
   bench           time the pipeline benchmark configurations and optionally
                   write a machine-readable perf baseline
-                  (-iters N -json BENCH_PR5.json)
+                  (-iters N -json BENCH_PR5.json; -state-dir D warms the
+                  index benchmarks from persisted state)
+  cache-compact   replay a persistent cache log, print its record/live/byte
+                  stats, and rewrite it down to live entries only
+                  (-state-dir D names the directory holding cache.log)
   all             run everything
 `)
 }

@@ -234,6 +234,13 @@ func WithAttribution(a *Attribution) Option { return core.WithAttribution(a) }
 // across the engine's operators (resolve, dedupe, join, find, impute).
 func WithIndexRegistry(r *IndexRegistry) Option { return core.WithIndexRegistry(r) }
 
+// WithStateDir enables persistent warm state under dir: the engine's
+// response cache is backed by an append-only log replayed on startup,
+// and corpus indexes warm-load from persisted files instead of being
+// rebuilt. One flag warms both layers across process restarts; flush
+// with Engine.FlushState (see docs/PERSISTENCE.md).
+func WithStateDir(dir string) Option { return core.WithStateDir(dir) }
+
 // NewAttribution returns an empty per-stage usage ledger.
 func NewAttribution() *Attribution { return workflow.NewAttribution() }
 

@@ -40,6 +40,8 @@ type Engine struct {
 	attr        *workflow.Attribution
 	registry    *embed.Registry
 	ixOpts      embed.IndexOptions
+	stateDir    string
+	stateErr    error
 }
 
 // Option configures an Engine.
@@ -119,6 +121,20 @@ func WithIndexOptions(opts embed.IndexOptions) Option {
 	return func(e *Engine) { e.ixOpts = opts }
 }
 
+// WithStateDir enables persistent warm state under dir, spanning both
+// stateful layers with one flag: the engine's execution-layer cache is
+// backed by an append-only log (dir/cache.log — replayed on startup,
+// flushed via FlushState), and its index registry warm-loads persisted
+// index files instead of re-embedding and re-clustering corpora it has
+// seen before (see docs/PERSISTENCE.md). Missing registry or execution
+// layer are created; pass explicit ones (shared across engines) before
+// this option to persist those instead. State problems never fail
+// engine construction — a fresh log is started and indexes rebuild —
+// but are reported by StateError.
+func WithStateDir(dir string) Option {
+	return func(e *Engine) { e.stateDir = dir }
+}
+
 // New returns an engine using the given model.
 func New(model llm.Model, opts ...Option) *Engine {
 	e := &Engine{
@@ -132,7 +148,43 @@ func New(model llm.Model, opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.stateDir != "" {
+		if e.registry == nil {
+			e.registry = embed.NewRegistry()
+		}
+		e.registry.SetStateDir(e.stateDir)
+		if e.exec == nil {
+			e.exec = workflow.NewExecLayer()
+		}
+		if _, err := e.exec.OpenState(e.stateDir); err != nil {
+			e.stateErr = err
+		}
+	}
 	return e
+}
+
+// StateError reports what went wrong attaching the WithStateDir cache
+// log, if anything: the engine runs regardless (state is an
+// optimisation), but a caller that expected warm starts can surface it.
+func (e *Engine) StateError() error { return e.stateErr }
+
+// FlushState appends the cache entries added since the last flush to
+// the persistent log — O(delta), see workflow.CacheLog — returning how
+// many were written. Engines without persistent state flush nothing.
+func (e *Engine) FlushState() (int, error) {
+	if e.exec == nil || !e.exec.HasState() {
+		return 0, nil
+	}
+	return e.exec.FlushState()
+}
+
+// CloseState flushes and detaches the persistent cache log. When the
+// execution layer is shared, this closes state for every engine using it.
+func (e *Engine) CloseState() error {
+	if e.exec == nil || !e.exec.HasState() {
+		return nil
+	}
+	return e.exec.CloseState()
 }
 
 // Model returns the engine's underlying model (unwrapped).

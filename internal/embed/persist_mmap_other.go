@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package embed
+
+import "errors"
+
+// mapIndexFile is unavailable on platforms without the unix mmap
+// surface; LoadIndex falls back to reading the file into the heap.
+func mapIndexFile(string) ([]byte, func(), error) {
+	return nil, nil, errors.ErrUnsupported
+}

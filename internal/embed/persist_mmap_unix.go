@@ -1,0 +1,39 @@
+//go:build linux || darwin
+
+package embed
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapIndexFile maps path read-only, returning the file image and a
+// release function. LoadIndex keeps the mapping for the life of a
+// successfully loaded index (its sections alias the pages) and only
+// releases it when the decode rejects the file. The mapping is private
+// and read-only: nothing in Index mutates loaded sections in place —
+// growth paths (Add) re-allocate because the aliased slices have no
+// spare capacity.
+func mapIndexFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		// Empty files can't be mapped; the ReadFile fallback turns them
+		// into a clean ErrNotIndexFile.
+		return nil, nil, fmt.Errorf("embed: unmappable index file size %d", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() { syscall.Munmap(b) }, nil
+}

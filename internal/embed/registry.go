@@ -3,6 +3,7 @@ package embed
 import (
 	"hash/fnv"
 	"math"
+	"path/filepath"
 	"sync"
 )
 
@@ -60,6 +61,11 @@ type Registry struct {
 	entries map[registryKey]*registryEntry
 	builds  int
 	hits    int
+	// stateDir, when set (SetStateDir), warms new slots from persisted
+	// index files and saves freshly built ones back (persist.go).
+	stateDir  string
+	warmLoads int
+	saves     int
 }
 
 // NewRegistry returns an empty registry.
@@ -125,20 +131,42 @@ func (r *Registry) IndexWith(em Embedder, items []Item, opts IndexOptions) *Inde
 		e = &registryEntry{}
 		r.entries[key] = e
 	}
+	stateDir := r.stateDir
 	r.mu.Unlock()
 
-	built := false
+	built, warmed, saved := false, false, false
 	e.once.Do(func() {
+		// With a state dir set, try the persisted file first: a hit skips
+		// embedding and clustering entirely; any load failure (missing,
+		// stale corpus, corrupt) falls through to a build that re-saves.
+		var path string
+		if stateDir != "" {
+			path = filepath.Join(stateDir, IndexFileName(em, items, opts))
+			if ix, err := LoadIndex(path, em, items, opts); err == nil {
+				e.ix = ix
+				warmed = true
+				return
+			}
+		}
 		ix := NewIndexWith(em, opts)
 		ix.AddAll(items)
+		if path != "" && SaveIndex(path, ix, em, items) == nil {
+			saved = true
+		}
 		e.ix = ix
 		built = true
 	})
 	r.mu.Lock()
-	if built {
+	switch {
+	case warmed:
+		r.warmLoads++
+	case built:
 		r.builds++
-	} else {
+	default:
 		r.hits++
+	}
+	if saved {
+		r.saves++
 	}
 	r.mu.Unlock()
 	return e.ix

@@ -41,13 +41,16 @@ type BenchRow struct {
 // machine-dependent; the call/cache counters and the index rows'
 // config, recall, and bytes_per_record fields are deterministic for a
 // given workload. Schema pipeline-bench/v2 added the index_benchmarks
-// section (the quantized-tier study of `declctl index-bench`).
+// section (the quantized-tier study of `declctl index-bench`); v3 added
+// the persistence section (warm index load vs rebuild and the cache
+// log's append/replay/compaction economics, see docs/PERSISTENCE.md).
 type BenchReport struct {
 	Schema          string          `json:"schema"`
 	Go              string          `json:"go"`
 	Workload        string          `json:"workload"`
 	Benchmarks      []BenchRow      `json:"benchmarks"`
 	IndexBenchmarks []IndexBenchRow `json:"index_benchmarks"`
+	Persistence     *PersistenceRow `json:"persistence,omitempty"`
 }
 
 // benchWorkload mirrors internal/pipeline's benchmark shape: a
@@ -73,8 +76,12 @@ func benchWorkload() (pipeline.Spec, map[string][]dataset.Record) {
 // PipelineBench times the pipeline benchmark configurations iters times
 // each and returns the machine-readable report. Each configuration keeps
 // one execution layer across its iterations, so the cache counters show
-// the cross-run reuse a persistent service would see.
-func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
+// the cross-run reuse a persistent service would see. A non-empty
+// stateDir threads through to the index benchmarks (`declctl bench
+// -state-dir`): the first run builds and persists each index, repeat
+// runs warm-load them — the rows then carry warm=true and their
+// build_ms reports the one-read load.
+func PipelineBench(ctx context.Context, iters int, stateDir string) (*BenchReport, error) {
 	if iters <= 0 {
 		iters = 3
 	}
@@ -107,7 +114,7 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 	}
 
 	report := &BenchReport{
-		Schema:   "pipeline-bench/v2",
+		Schema:   "pipeline-bench/v3",
 		Go:       runtime.Version(),
 		Workload: "restaurants 12 source / 40 train, resolve->filter->impute",
 	}
@@ -175,8 +182,8 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 	// evidence (qps is machine-dependent and stripped by the CI diff; the
 	// recall and bytes_per_record columns are the deterministic part).
 	for _, icfg := range []IndexBenchConfig{
-		{N: 2000, K: 10, Queries: 100, Quantize: true, Seed: 7},
-		{N: 100000, K: 10, Queries: 20, Quantize: true, FlatOnly: true, Seed: 7},
+		{N: 2000, K: 10, Queries: 100, Quantize: true, Seed: 7, StateDir: stateDir},
+		{N: 100000, K: 10, Queries: 20, Quantize: true, FlatOnly: true, Seed: 7, StateDir: stateDir},
 	} {
 		rows, err := IndexBench(icfg)
 		if err != nil {
@@ -184,6 +191,14 @@ func PipelineBench(ctx context.Context, iters int) (*BenchReport, error) {
 		}
 		report.IndexBenchmarks = append(report.IndexBenchmarks, rows...)
 	}
+
+	// Persistence: warm index load vs rebuild at the 100k acceptance
+	// scale plus the cache log's replay and compaction figures.
+	persist, err := PersistenceStudy(DefaultPersistenceConfig())
+	if err != nil {
+		return nil, fmt.Errorf("bench persistence: %w", err)
+	}
+	report.Persistence = persist
 	return report, nil
 }
 
@@ -215,6 +230,9 @@ func FormatBenchReport(report *BenchReport) string {
 		fmt.Fprintf(&b, "\nindex n=%d:\n%s", report.IndexBenchmarks[i].N,
 			FormatIndexBench(report.IndexBenchmarks[i:j]))
 		i = j
+	}
+	if report.Persistence != nil {
+		fmt.Fprintf(&b, "\npersistence:\n%s", FormatPersistence(report.Persistence))
 	}
 	return b.String()
 }

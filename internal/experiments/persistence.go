@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/llm"
+	"repro/internal/workflow"
+)
+
+// PersistenceConfig sizes the warm-state study behind the `persistence`
+// section of BENCH_PR5.json.
+type PersistenceConfig struct {
+	// N is the persisted index's record count (the acceptance scale is
+	// 100k).
+	N int
+	// K and Queries shape the pinned top-k comparison between the cold
+	// and warm index.
+	K, Queries int
+	// LogEntries is the cache-log workload's unique entry count;
+	// LogOverwrites of them are overwritten after the first flush, so the
+	// log carries a known dead fraction for the compaction figures.
+	LogEntries, LogOverwrites int
+	// Seed drives the synthetic corpus.
+	Seed int64
+}
+
+// DefaultPersistenceConfig measures the acceptance scale: a 100k-record
+// quantized index and a 5000-entry cache log with a 20% overwrite tail.
+func DefaultPersistenceConfig() PersistenceConfig {
+	return PersistenceConfig{N: 100000, K: 10, Queries: 20, LogEntries: 5000, LogOverwrites: 1000, Seed: 7}
+}
+
+// PersistenceRow is the machine-readable result: how fast warm state
+// restores versus rebuilding, whether the warm index answers
+// byte-identically, and the append/replay/compaction economics of the
+// cache log. The *_ms, speedup_x, and replay_per_sec fields are
+// machine-dependent (stripped by the CI diff); everything else —
+// file sizes, record counts, live ratio, identical_top_k — is
+// deterministic for a given config.
+type PersistenceRow struct {
+	N              int     `json:"n"`
+	Dim            int     `json:"dim"`
+	Quantize       bool    `json:"quantize"`
+	RebuildMS      float64 `json:"rebuild_ms"`
+	WarmLoadMS     float64 `json:"warm_load_ms"`
+	SpeedupX       float64 `json:"speedup_x"`
+	IdenticalTopK  bool    `json:"identical_top_k"`
+	IndexFileBytes int64   `json:"index_file_bytes"`
+
+	LogEntries       int     `json:"log_entries"`
+	LogRecords       int     `json:"log_records"`
+	LogBytes         int64   `json:"log_bytes"`
+	LogLiveRatio     float64 `json:"log_live_ratio"`
+	CompactedRecords int     `json:"compacted_records"`
+	CompactedBytes   int64   `json:"compacted_bytes"`
+	LogAppendMS      float64 `json:"log_append_ms"`
+	LogReplayMS      float64 `json:"log_replay_ms"`
+	ReplayPerSec     float64 `json:"replay_per_sec"`
+}
+
+// PersistenceStudy measures both halves of the warm-state tentpole
+// (docs/PERSISTENCE.md) in one pass. Index side: build a quantized index
+// over N synthetic records (timed — the cold path every process used to
+// pay), persist it, load it back through the one-read path (timed), and
+// pin the warm index's top-k against the cold one's. Log side: run an
+// insert + overwrite workload through a cache into an append-only log,
+// then measure replay and compaction. Everything happens under a
+// throwaway temp dir.
+func PersistenceStudy(cfg PersistenceConfig) (*PersistenceRow, error) {
+	if cfg.N <= 0 || cfg.K <= 0 || cfg.Queries <= 0 || cfg.LogEntries <= 0 {
+		return nil, fmt.Errorf("persistence: N, K, Queries, LogEntries must be positive")
+	}
+	if cfg.LogOverwrites > cfg.LogEntries {
+		return nil, fmt.Errorf("persistence: LogOverwrites exceeds LogEntries")
+	}
+	dir, err := os.MkdirTemp("", "declprompt-persist-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	em := embed.Default()
+	texts := dataset.GenerateSyntheticTexts(cfg.N+cfg.Queries, cfg.Seed)
+	items := make([]embed.Item, cfg.N)
+	for i := range items {
+		items[i] = embed.Item{ID: fmt.Sprintf("s%d", i), Text: texts[i]}
+	}
+	queries := texts[cfg.N:]
+	opts := embed.IndexOptions{Quantize: true}
+
+	// Cold path: embed the corpus and build the quantized tier — what a
+	// process restart costs without persistent state.
+	start := time.Now()
+	cold := embed.NewIndexWith(em, opts)
+	cold.AddAll(items)
+	cold.Nearest(queries[0], cfg.K) // forces the code-array build into the timed window
+	row := &PersistenceRow{N: cfg.N, Dim: em.Dim(), Quantize: true, RebuildMS: msSince(start)}
+
+	path := filepath.Join(dir, embed.IndexFileName(em, items, opts))
+	if err := embed.SaveIndex(path, cold, em, items); err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(path); err == nil {
+		row.IndexFileBytes = fi.Size()
+	}
+
+	// Warm path: one read restores store and codes.
+	start = time.Now()
+	warm, err := embed.LoadIndex(path, em, items, opts)
+	if err != nil {
+		return nil, err
+	}
+	row.WarmLoadMS = msSince(start)
+	if row.WarmLoadMS > 0 {
+		row.SpeedupX = math.Round(row.RebuildMS/row.WarmLoadMS*10) / 10
+	}
+	row.IdenticalTopK = true
+	for _, q := range queries {
+		if !reflect.DeepEqual(warm.Nearest(q, cfg.K), cold.Nearest(q, cfg.K)) {
+			row.IdenticalTopK = false
+			break
+		}
+	}
+
+	// Log workload: LogEntries inserts, flush, then overwrite a fraction
+	// and flush again — an append-only log now carrying dead records.
+	cache := workflow.NewCache(0)
+	resp := func(i, gen int) llm.Response {
+		return llm.Response{Text: fmt.Sprintf("answer-%d-gen%d", i, gen), Model: "bench"}
+	}
+	for i := 0; i < cfg.LogEntries; i++ {
+		cache.Put("bench", fmt.Sprintf("prompt-%d", i), resp(i, 0))
+	}
+	lg, err := workflow.OpenCacheLog(filepath.Join(dir, "cache.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer lg.Close()
+	start = time.Now()
+	if _, err := lg.Flush(cache); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.LogOverwrites; i++ {
+		cache.Put("bench", fmt.Sprintf("prompt-%d", i), resp(i, 1))
+	}
+	if _, err := lg.Flush(cache); err != nil {
+		return nil, err
+	}
+	row.LogAppendMS = msSince(start)
+	st := lg.Stats()
+	row.LogRecords, row.LogBytes = st.Records, st.Bytes
+	row.LogEntries = cfg.LogEntries
+	row.LogLiveRatio = math.Round(float64(cfg.LogEntries)/float64(st.Records)*1000) / 1000
+
+	// Replay rate: a fresh process reading the log back.
+	replayed := workflow.NewCache(0)
+	lg2, err := workflow.OpenCacheLog(filepath.Join(dir, "cache.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer lg2.Close()
+	start = time.Now()
+	rs, err := lg2.Replay(replayed)
+	if err != nil {
+		return nil, err
+	}
+	row.LogReplayMS = msSince(start)
+	if row.LogReplayMS > 0 {
+		row.ReplayPerSec = math.Round(float64(rs.Records) / (row.LogReplayMS / 1000))
+	}
+
+	// Compaction rewrites live entries only.
+	if err := lg2.Compact(replayed); err != nil {
+		return nil, err
+	}
+	cst := lg2.Stats()
+	row.CompactedRecords, row.CompactedBytes = cst.Records, cst.Bytes
+	return row, nil
+}
+
+// FormatPersistence renders the study in the repo's table style.
+func FormatPersistence(row *PersistenceRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "index n=%d dim=%d quantize=%v\n", row.N, row.Dim, row.Quantize)
+	fmt.Fprintf(&sb, "  rebuild %.1fms -> warm load %.1fms (%.1fx), file %d bytes, identical top-k: %v\n",
+		row.RebuildMS, row.WarmLoadMS, row.SpeedupX, row.IndexFileBytes, row.IdenticalTopK)
+	fmt.Fprintf(&sb, "cache log: %d live / %d records (%.3f live), %d bytes\n",
+		row.LogEntries, row.LogRecords, row.LogLiveRatio, row.LogBytes)
+	fmt.Fprintf(&sb, "  append %.1fms, replay %.1fms (%.0f rec/s), compacted to %d records / %d bytes\n",
+		row.LogAppendMS, row.LogReplayMS, row.ReplayPerSec, row.CompactedRecords, row.CompactedBytes)
+	return sb.String()
+}

@@ -67,7 +67,7 @@ func TestScenarioStudyFormat(t *testing.T) {
 // cache-hit/coalesce split stable), so the committed BENCH_PR5.json
 // diffs cleanly in CI.
 func TestBenchStandingQueryRow(t *testing.T) {
-	report, err := PipelineBench(ctx(), 1)
+	report, err := PipelineBench(ctx(), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,10 +45,14 @@ func keyFor(model string, req llm.Request) cacheKey {
 }
 
 // cacheShard is one lock domain of a Cache. hits is atomic so the hot
-// path (a hit) completes entirely under the read lock.
+// path (a hit) completes entirely under the read lock. dirty records the
+// keys inserted since the last log flush, so CacheLog.Flush appends only
+// the delta (see cachelog.go); it costs one slice append per put and
+// nothing at all on the read path.
 type cacheShard struct {
 	mu      sync.RWMutex
 	entries map[cacheKey]llm.Response
+	dirty   []cacheKey
 	hits    atomic.Int64
 }
 
@@ -98,12 +102,76 @@ func (c *Cache) get(key cacheKey) (llm.Response, bool) {
 	return resp, ok
 }
 
-// put stores a response under key.
+// put stores a response under key, marking it dirty for the next log
+// flush. Overwrites are marked too: last-write-wins replay makes a
+// duplicate log record harmless, and flushing dedupes within one delta.
 func (c *Cache) put(key cacheKey, resp llm.Response) {
 	s := c.shard(key)
 	s.mu.Lock()
 	s.entries[key] = resp
+	s.dirty = append(s.dirty, key)
 	s.mu.Unlock()
+}
+
+// Put stores (or overwrites) the response served for prompt against the
+// named model at default sampling parameters — the programmatic way to
+// pre-seed a cache with known answers (migration from another store,
+// canned responses in tests and benchmarks). The entry is marked dirty
+// like any insert, so the next CacheLog flush persists it.
+func (c *Cache) Put(model, prompt string, resp llm.Response) {
+	c.put(cacheKey{model: model, prompt: prompt}, resp)
+}
+
+// loadEntry is put without dirty marking: entries arriving from persisted
+// state (snapshot Load, log replay) are already durable and must not be
+// re-appended by the next flush.
+func (c *Cache) loadEntry(key cacheKey, resp llm.Response) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.entries[key] = resp
+	s.mu.Unlock()
+}
+
+// drainDirty collects and clears every shard's dirty delta, deduplicated
+// by key (the current value wins), returning the entries to append.
+func (c *Cache) drainDirty() map[cacheKey]llm.Response {
+	delta := make(map[cacheKey]llm.Response)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, k := range s.dirty {
+			delta[k] = s.entries[k]
+		}
+		s.dirty = nil
+		s.mu.Unlock()
+	}
+	return delta
+}
+
+// markDirty re-flags keys as pending for the next flush — the undo path
+// when a compaction drained the dirty set but then failed to replace the
+// log file.
+func (c *Cache) markDirty(keys map[cacheKey]llm.Response) {
+	for k := range keys {
+		s := c.shard(k)
+		s.mu.Lock()
+		s.dirty = append(s.dirty, k)
+		s.mu.Unlock()
+	}
+}
+
+// snapshot copies the full live contents, for compaction and Save.
+func (c *Cache) snapshot() map[cacheKey]llm.Response {
+	all := make(map[cacheKey]llm.Response)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.entries {
+			all[k] = v
+		}
+		s.mu.RUnlock()
+	}
+	return all
 }
 
 // Stats returns the total entry and hit counts across shards.
@@ -128,28 +196,11 @@ type cacheEntry struct {
 	Text        string  `json:"text"`
 }
 
-// Save writes the cache contents as JSON, so long experiment sweeps can be
-// resumed across process restarts without re-spending tokens.
-func (c *Cache) Save(w io.Writer) error {
-	var entries []cacheEntry
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.RLock()
-		for k, v := range s.entries {
-			entries = append(entries, cacheEntry{
-				Model:       k.model,
-				Prompt:      k.prompt,
-				Temperature: k.temperature,
-				MaxTokens:   k.maxTokens,
-				Seed:        k.seed,
-				Text:        v.Text,
-			})
-		}
-		s.mu.RUnlock()
-	}
-	// Deterministic order for reproducible files: the full cache key
-	// participates, so a cache shared by several models (or mixed sampling
-	// parameters) still serializes identically run after run.
+// sortEntries orders persistence entries deterministically: the full
+// cache key participates, so a cache shared by several models (or mixed
+// sampling parameters) still serializes identically run after run. The
+// snapshot Save, the log flush, and compaction all use this one order.
+func sortEntries(entries []cacheEntry) {
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
 		if a.Prompt != b.Prompt {
@@ -166,28 +217,98 @@ func (c *Cache) Save(w io.Writer) error {
 		}
 		return a.MaxTokens < b.MaxTokens
 	})
-	if err := json.NewEncoder(w).Encode(entries); err != nil {
+}
+
+// entryList converts a contents map into the sorted persistence form.
+func entryList(m map[cacheKey]llm.Response) []cacheEntry {
+	entries := make([]cacheEntry, 0, len(m))
+	for k, v := range m {
+		entries = append(entries, cacheEntry{
+			Model:       k.model,
+			Prompt:      k.prompt,
+			Temperature: k.temperature,
+			MaxTokens:   k.maxTokens,
+			Seed:        k.seed,
+			Text:        v.Text,
+		})
+	}
+	sortEntries(entries)
+	return entries
+}
+
+// key returns the cache key of a persistence entry.
+func (e cacheEntry) key() cacheKey {
+	return cacheKey{
+		model:       e.Model,
+		prompt:      e.Prompt,
+		temperature: e.Temperature,
+		maxTokens:   e.MaxTokens,
+		seed:        e.Seed,
+	}
+}
+
+// Save writes the cache contents as a deterministic JSON snapshot, so long
+// experiment sweeps can be resumed across process restarts without
+// re-spending tokens. The snapshot is O(cache) per save; processes that
+// save repeatedly should use a CacheLog instead (cachelog.go), whose flush
+// is O(new entries).
+func (c *Cache) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(entryList(c.snapshot())); err != nil {
 		return fmt.Errorf("workflow: save cache: %w", err)
 	}
 	return nil
 }
 
+// SnapshotError reports a corrupt or truncated cache snapshot handed to
+// Load. Loading is all-or-nothing: no entries from the bad stream were
+// merged, so the caller can keep running with whatever the cache already
+// held. The actionable fix is to delete (or regenerate) the snapshot file;
+// switching persistence to a CacheLog additionally makes partial writes
+// recoverable instead of fatal (replay keeps the valid prefix).
+type SnapshotError struct {
+	// Reason describes what was wrong with the stream.
+	Reason string
+	// Err is the underlying decode error, when one exists.
+	Err error
+}
+
+func (e *SnapshotError) Error() string {
+	msg := "workflow: cache snapshot corrupt: " + e.Reason +
+		" (no entries loaded; delete or regenerate the snapshot file," +
+		" or persist via CacheLog for torn-write recovery)"
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
 // Load merges previously saved cache contents. Loaded entries carry zero
 // usage, like any cache hit. Entries for other model names are kept too
 // (the key includes the model), so one file can serve a registry.
+//
+// An empty stream loads nothing and returns nil (a fresh snapshot file is
+// a valid empty cache). A malformed or truncated stream returns a
+// *SnapshotError and merges nothing — loading is all-or-nothing, unlike
+// CacheLog replay, which recovers the valid prefix of a torn log.
 func (c *Cache) Load(r io.Reader) error {
+	dec := json.NewDecoder(r)
 	var entries []cacheEntry
-	if err := json.NewDecoder(r).Decode(&entries); err != nil {
-		return fmt.Errorf("workflow: load cache: %w", err)
+	if err := dec.Decode(&entries); err != nil {
+		if err == io.EOF {
+			return nil // empty stream: a valid empty snapshot
+		}
+		return &SnapshotError{Reason: "malformed JSON", Err: err}
+	}
+	// A snapshot is exactly one array; trailing non-whitespace means the
+	// file was corrupted (e.g. two interleaved writers) even though a
+	// prefix parsed.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return &SnapshotError{Reason: "trailing data after snapshot array"}
 	}
 	for _, e := range entries {
-		c.put(cacheKey{
-			model:       e.Model,
-			prompt:      e.Prompt,
-			temperature: e.Temperature,
-			maxTokens:   e.MaxTokens,
-			seed:        e.Seed,
-		}, llm.Response{Text: e.Text, Model: e.Model})
+		c.loadEntry(e.key(), llm.Response{Text: e.Text, Model: e.Model})
 	}
 	return nil
 }

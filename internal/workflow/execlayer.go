@@ -1,6 +1,9 @@
 package workflow
 
 import (
+	"fmt"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/llm"
@@ -51,6 +54,10 @@ type ExecLayer struct {
 
 	batches     atomic.Int64
 	soloRetries atomic.Int64
+
+	// stateMu guards the optional persistence attachment (OpenState).
+	stateMu sync.Mutex
+	log     *CacheLog
 }
 
 // NewExecLayer returns a layer with a DefaultCacheShards-way cache.
@@ -91,4 +98,116 @@ func (l *ExecLayer) Stats() ExecStats {
 		Batches:     int(l.batches.Load()),
 		SoloRetries: int(l.soloRetries.Load()),
 	}
+}
+
+// CacheLogName is the file name of an ExecLayer's cache log inside a
+// state directory (see OpenState and core.WithStateDir).
+const CacheLogName = "cache.log"
+
+// OpenState attaches an append-only cache log under dir (dir/cache.log,
+// created if needed) and replays its contents into the layer's shared
+// cache, so a new process starts warm: every previously answered unit
+// task is re-served free. Returns the replay stats — Recovered set means
+// a torn tail from a crashed predecessor was recovered (the valid prefix
+// loaded). Call FlushState to persist new entries (O(delta)) and
+// CompactState to reclaim superseded records. Calling OpenState on a
+// layer that already has state is a no-op reporting zero stats.
+func (l *ExecLayer) OpenState(dir string) (ReplayStats, error) {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	if l.log != nil {
+		return ReplayStats{}, nil
+	}
+	lg, err := OpenCacheLog(filepath.Join(dir, CacheLogName))
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	stats, err := lg.Replay(l.cache)
+	if err != nil {
+		lg.Close()
+		return stats, err
+	}
+	l.log = lg
+	return stats, nil
+}
+
+// HasState reports whether a cache log is attached.
+func (l *ExecLayer) HasState() bool {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	return l.log != nil
+}
+
+// compactMinRecords is the log size below which FlushState never
+// auto-compacts: rewriting a small log saves nothing and churns the
+// file under rapid flush cycles.
+const compactMinRecords = 1024
+
+// FlushState appends every cache entry inserted since the last flush to
+// the attached log — O(delta), no rewrite of existing bytes — and syncs.
+// Returns the number of records appended; without attached state it is a
+// no-op. Safe to call concurrently with in-flight requests: entries
+// inserted during the flush land in the next delta.
+//
+// FlushState also owns size-triggered compaction: when superseded
+// records outnumber live entries (log records more than twice the cache
+// size, past a small floor) the log is rewritten to live entries only,
+// so a long-running service's log stays proportional to its cache
+// without anyone scheduling maintenance.
+func (l *ExecLayer) FlushState() (int, error) {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	if l.log == nil {
+		return 0, nil
+	}
+	n, err := l.log.Flush(l.cache)
+	if err != nil {
+		return n, err
+	}
+	live, _ := l.cache.Stats()
+	if st := l.log.Stats(); st.Records >= compactMinRecords && st.Records > 2*live {
+		if err := l.log.Compact(l.cache); err != nil {
+			return n, fmt.Errorf("auto-compact after flush: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// CompactState rewrites the attached log to the cache's live entries
+// only, atomically, dropping superseded records. No-op without state.
+func (l *ExecLayer) CompactState() error {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	return l.log.Compact(l.cache)
+}
+
+// StateStats returns the attached log's stats; ok is false when no state
+// is attached.
+func (l *ExecLayer) StateStats() (stats CacheLogStats, ok bool) {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	if l.log == nil {
+		return CacheLogStats{}, false
+	}
+	return l.log.Stats(), true
+}
+
+// CloseState flushes pending entries and closes the log, detaching it.
+// No-op without state.
+func (l *ExecLayer) CloseState() error {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	_, ferr := l.log.Flush(l.cache)
+	cerr := l.log.Close()
+	l.log = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }
