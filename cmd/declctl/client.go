@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// demoSpec is the built-in pipeline used when -spec is empty: filter the
+// flavors dataset down to chocolatey ones and rank them.
+func demoSpec() pipeline.Spec {
+	return pipeline.Spec{
+		Source: pipeline.SourceSpec{Dataset: "flavors"},
+		Stages: []pipeline.StageSpec{
+			{Name: "choc", Kind: pipeline.KindFilter, Field: "name",
+				Predicate: "it is a chocolatey flavor", Selectivity: 0.4},
+			{Name: "rank", Kind: pipeline.KindSort, Field: "name",
+				Criterion: "how chocolatey they are", Strategy: "rating"},
+		},
+	}
+}
+
+// loadSpec reads a pipeline Spec from path, or returns the built-in demo
+// spec when path is empty.
+func loadSpec(path string) (pipeline.Spec, error) {
+	if path == "" {
+		return demoSpec(), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return pipeline.Spec{}, err
+	}
+	var spec pipeline.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return pipeline.Spec{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// clientDo runs one JSON round trip against a declserver endpoint. A nil
+// body sends no payload; out, when non-nil, receives the decoded 2xx
+// response. Non-2xx responses are surfaced as errors carrying the server's
+// error message.
+func clientDo(method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error struct {
+				Message string `json:"message"`
+				Type    string `json:"type"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error.Message != "" {
+			return fmt.Errorf("%s: %s (%s)", resp.Status, e.Error.Message, e.Error.Type)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// printJSON pretty-prints a wire object to stdout.
+func printJSON(v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(raw))
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
 	"repro/internal/scenario"
+	"repro/internal/server"
 	"repro/internal/workflow"
 )
 
@@ -75,6 +76,12 @@ func main() {
 		"persistent-state directory: bench and index-bench warm-load saved indexes from it (building and saving on the first run); cache-compact rewrites its cache log")
 	scName := sub.String("name", "", "scenario ID to run for scenario (see -list)")
 	scList := sub.Bool("list", false, "list the pre-built scenarios for scenario")
+	srvURL := sub.String("server", "http://localhost:8080", "declserver base URL for submit/status/report")
+	srvTenant := sub.String("tenant", "default", "tenant ID for submit/report")
+	srvAsync := sub.Bool("async", false, "submit without waiting; poll with declctl status -job ID")
+	srvOptimize := sub.Bool("optimize", false, "ask the server to optimize the spec before running")
+	srvJob := sub.String("job", "", "job ID for status")
+	srvCancel := sub.Bool("cancel", false, "cancel the job named by -job")
 	// For scenario and index-bench, -json is a switch (emit the result as
 	// JSON on stdout); everywhere else it is the bench baseline's output
 	// path. One FlagSet serves every command, so the flag registers per
@@ -249,24 +256,9 @@ func main() {
 	}
 
 	runPipeline := func() error {
-		spec := pipeline.Spec{
-			Source: pipeline.SourceSpec{Dataset: "flavors"},
-			Stages: []pipeline.StageSpec{
-				{Name: "choc", Kind: pipeline.KindFilter, Field: "name",
-					Predicate: "it is a chocolatey flavor", Selectivity: 0.4},
-				{Name: "rank", Kind: pipeline.KindSort, Field: "name",
-					Criterion: "how chocolatey they are", Strategy: "rating"},
-			},
-		}
-		if *specPath != "" {
-			raw, err := os.ReadFile(*specPath)
-			if err != nil {
-				return err
-			}
-			spec = pipeline.Spec{}
-			if err := json.Unmarshal(raw, &spec); err != nil {
-				return fmt.Errorf("parsing %s: %w", *specPath, err)
-			}
+		spec, err := loadSpec(*specPath)
+		if err != nil {
+			return err
 		}
 		tables, err := spec.Source.Tables()
 		if err != nil {
@@ -428,6 +420,40 @@ func main() {
 		return nil
 	}
 
+	serverSubmit := func() error {
+		spec, err := loadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		var st server.JobStatus
+		req := server.SubmitRequest{Tenant: *srvTenant, Spec: spec, Async: *srvAsync, Optimize: *srvOptimize}
+		if err := clientDo("POST", *srvURL+"/v1/pipelines", req, &st); err != nil {
+			return err
+		}
+		return printJSON(st)
+	}
+	serverStatus := func() error {
+		if *srvJob == "" {
+			return fmt.Errorf("status needs -job ID")
+		}
+		method := "GET"
+		if *srvCancel {
+			method = "DELETE"
+		}
+		var st server.JobStatus
+		if err := clientDo(method, *srvURL+"/v1/jobs/"+*srvJob, nil, &st); err != nil {
+			return err
+		}
+		return printJSON(st)
+	}
+	serverReport := func() error {
+		var rep server.TenantReport
+		if err := clientDo("GET", *srvURL+"/v1/tenants/"+*srvTenant+"/report", nil, &rep); err != nil {
+			return err
+		}
+		return printJSON(rep)
+	}
+
 	switch cmd {
 	case "table1":
 		run("Table 1: sorting 20 flavours", table1)
@@ -485,6 +511,22 @@ func main() {
 		run("Scenario study: all pre-built scenarios on the sim engine", scenarioStudy)
 	case "bench":
 		run(fmt.Sprintf("Pipeline bench: %d iterations per configuration", *benchIters), bench)
+	case "submit":
+		// JSON output stays machine-readable: no header or timing wrapper.
+		if err := serverSubmit(); err != nil {
+			fmt.Fprintf(os.Stderr, "declctl: submit: %v\n", err)
+			os.Exit(1)
+		}
+	case "status":
+		if err := serverStatus(); err != nil {
+			fmt.Fprintf(os.Stderr, "declctl: status: %v\n", err)
+			os.Exit(1)
+		}
+	case "report":
+		if err := serverReport(); err != nil {
+			fmt.Fprintf(os.Stderr, "declctl: report: %v\n", err)
+			os.Exit(1)
+		}
 	case "cache-compact":
 		run("Cache log: replay, stats, compaction", cacheCompact)
 	case "all":
@@ -562,6 +604,13 @@ commands:
   cache-compact   replay a persistent cache log, print its record/live/byte
                   stats, and rewrite it down to live entries only
                   (-state-dir D names the directory holding cache.log)
+  submit          submit a pipeline Spec to a running declserver and print
+                  the job status (-server URL -tenant T -spec file.json,
+                  -async returns immediately, -optimize rewrites first)
+  status          poll a server job by ID, or abort it with -cancel
+                  (-server URL -job ID)
+  report          one tenant's server report: spend, job counters, latency
+                  percentiles, cache-hit share (-server URL -tenant T)
   all             run everything
 `)
 }

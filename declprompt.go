@@ -33,6 +33,7 @@ import (
 	"repro/internal/llm/httpapi"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 	"repro/internal/token"
 	"repro/internal/workflow"
 )
@@ -305,4 +306,37 @@ type IndexItem = embed.Item
 // measured-recall knob (embed.Recall, `declctl index-bench`).
 func NewEmbeddingIndexWith(opts EmbeddingIndexOptions) *embed.Index {
 	return embed.NewIndexWith(embed.Default(), opts)
+}
+
+// Multi-tenant pipeline service (internal/server, cmd/declserver,
+// docs/SERVER.md): many tenants' pipelines run concurrently on one shared
+// execution substrate — one cache, one coalescer, one index registry, one
+// persistent state directory — with per-tenant rate limits, budgets, and
+// exact spend attribution.
+type (
+	// PipelineServer is the service core; ServerConfig parameterises it
+	// (model, state dir, concurrency cap, per-tenant defaults and
+	// overrides). PipelineServer.Handler() is the HTTP API.
+	PipelineServer = server.Server
+	ServerConfig   = server.Config
+	// TenantLimits override one tenant's admission rate and budget caps
+	// (TenantCaps) in ServerConfig.Tenants.
+	TenantLimits = server.TenantLimits
+	TenantCaps   = server.TenantCaps
+	// ServerSubmit is a pipeline submission; ServerJobStatus a job's wire
+	// state; ServerTenantReport one tenant's spend/latency/hit-share view.
+	ServerSubmit       = server.SubmitRequest
+	ServerJobStatus    = server.JobStatus
+	ServerTenantReport = server.TenantReport
+)
+
+// NewPipelineServer builds the multi-tenant service core; serve its
+// Handler() over HTTP (see cmd/declserver) or call Submit in-process.
+func NewPipelineServer(cfg ServerConfig) *PipelineServer { return server.New(cfg) }
+
+// TagTenant returns a context whose engine calls are attributed to the
+// given tenant label — the per-tenant axis of a service-wide ledger,
+// orthogonal to TagStage's per-stage axis.
+func TagTenant(ctx context.Context, tenant string) context.Context {
+	return workflow.TagTenant(ctx, tenant)
 }

@@ -43,14 +43,17 @@ type BenchRow struct {
 // given workload. Schema pipeline-bench/v2 added the index_benchmarks
 // section (the quantized-tier study of `declctl index-bench`); v3 added
 // the persistence section (warm index load vs rebuild and the cache
-// log's append/replay/compaction economics, see docs/PERSISTENCE.md).
+// log's append/replay/compaction economics, see docs/PERSISTENCE.md);
+// v4 added the server section (multi-tenant cold/warm burst economics
+// against a resident declserver, see docs/SERVER.md).
 type BenchReport struct {
-	Schema          string          `json:"schema"`
-	Go              string          `json:"go"`
-	Workload        string          `json:"workload"`
-	Benchmarks      []BenchRow      `json:"benchmarks"`
-	IndexBenchmarks []IndexBenchRow `json:"index_benchmarks"`
-	Persistence     *PersistenceRow `json:"persistence,omitempty"`
+	Schema          string           `json:"schema"`
+	Go              string           `json:"go"`
+	Workload        string           `json:"workload"`
+	Benchmarks      []BenchRow       `json:"benchmarks"`
+	IndexBenchmarks []IndexBenchRow  `json:"index_benchmarks"`
+	Persistence     *PersistenceRow  `json:"persistence,omitempty"`
+	Server          []ServerBenchRow `json:"server,omitempty"`
 }
 
 // benchWorkload mirrors internal/pipeline's benchmark shape: a
@@ -114,7 +117,7 @@ func PipelineBench(ctx context.Context, iters int, stateDir string) (*BenchRepor
 	}
 
 	report := &BenchReport{
-		Schema:   "pipeline-bench/v3",
+		Schema:   "pipeline-bench/v4",
 		Go:       runtime.Version(),
 		Workload: "restaurants 12 source / 40 train, resolve->filter->impute",
 	}
@@ -199,6 +202,15 @@ func PipelineBench(ctx context.Context, iters int, stateDir string) (*BenchRepor
 		return nil, fmt.Errorf("bench persistence: %w", err)
 	}
 	report.Persistence = persist
+
+	// Server: the multi-tenant burst economics against one resident
+	// declserver — a cold concurrent round costing one cold run, then an
+	// upstream-free warm round.
+	serverRows, err := ServerBench(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench server: %w", err)
+	}
+	report.Server = serverRows
 	return report, nil
 }
 

@@ -59,7 +59,8 @@ func ScenarioStudy(ctx context.Context) (*ScenarioStudyResult, error) {
 			SharedHits: res.SharedHits, Wall: res.Wall,
 		}
 		for _, tr := range res.Turns {
-			if tr.Kind == scenario.TurnQuery || tr.Kind == scenario.TurnBurst {
+			if tr.Kind == scenario.TurnQuery || tr.Kind == scenario.TurnBurst ||
+				tr.Kind == scenario.TurnServer {
 				row.Rows = tr.Rows
 			}
 		}

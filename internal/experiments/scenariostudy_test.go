@@ -30,6 +30,7 @@ func TestScenarioStudyPinned(t *testing.T) {
 		{ID: "burst-load", Calls: 3, Tokens: 85, SharedHits: 45, Rows: 4},
 		{ID: "overlap-ingestion", Calls: 12, Tokens: 578, SharedHits: 12, Rows: 3},
 		{ID: "adaptive-replan-drift", Calls: 3, Tokens: 86, SharedHits: 16, Rows: 2},
+		{ID: "declserver-multi-tenant", Calls: 3, Tokens: 85, SharedHits: 93, Rows: 4},
 	}
 	if len(res.Rows) != len(want) {
 		t.Fatalf("study ran %d scenarios, want %d", len(res.Rows), len(want))

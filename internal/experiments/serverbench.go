@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/llm/sim"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+)
+
+// ServerBenchRow is one multi-tenant service round's machine-readable
+// record: N tenants submit the bench workload concurrently against one
+// resident declserver and the row reports what the round cost. The
+// upstream and shared-hit counters are per-round deltas and
+// deterministic (each unit ask is served exactly once — upstream, cache,
+// or coalesced — so the split's sum is stable however the timing falls);
+// wall_ms is machine-dependent and stripped by the CI diff.
+type ServerBenchRow struct {
+	Name           string `json:"name"`
+	Tenants        int    `json:"tenants"`
+	Submissions    int    `json:"submissions"`
+	Completed      int    `json:"completed"`
+	UpstreamCalls  int    `json:"upstream_calls"`
+	UpstreamTokens int    `json:"upstream_tokens"`
+	SharedHits     int    `json:"shared_hits"`
+	Balanced       bool   `json:"balanced"`
+	WallMS         int64  `json:"wall_ms"`
+}
+
+// ServerBench measures the declserver economics the service exists for:
+// a cold concurrent burst (every tenant pays only for the asks the
+// shared substrate cannot absorb — the whole burst costs one cold run)
+// and a warm burst against the same resident server (upstream-free).
+// Both rounds assert the attribution invariant: the per-tenant ledger
+// sums to the global upstream truth.
+func ServerBench(ctx context.Context) ([]ServerBenchRow, error) {
+	spec, tables := benchWorkload()
+	optimized, _, err := pipeline.Optimize(spec)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{
+		Model:         sim.NewNamed("sim-gpt-3.5-turbo"),
+		MaxConcurrent: 2,
+		MaxQueue:      64,
+		Parallelism:   2,
+	})
+
+	const tenants, perTenant = 3, 2
+	round := func(name string) (ServerBenchRow, error) {
+		before := srv.Stats()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, tenants*perTenant)
+		for ti := 0; ti < tenants; ti++ {
+			id := fmt.Sprintf("tenant-%d", ti)
+			for k := 0; k < perTenant; k++ {
+				wg.Add(1)
+				go func(slot int, id string) {
+					defer wg.Done()
+					st, err := srv.Submit(ctx, server.SubmitRequest{Tenant: id, Spec: optimized, Tables: tables})
+					if err == nil && st.State != server.JobDone {
+						err = fmt.Errorf("job ended %s: %s", st.State, st.Error)
+					}
+					errs[slot] = err
+				}(ti*perTenant+k, id)
+			}
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return ServerBenchRow{}, fmt.Errorf("server bench %s: %w", name, err)
+			}
+		}
+		after := srv.Stats()
+		return ServerBenchRow{
+			Name:           name,
+			Tenants:        tenants,
+			Submissions:    tenants * perTenant,
+			Completed:      tenants * perTenant,
+			UpstreamCalls:  after.UpstreamCalls - before.UpstreamCalls,
+			UpstreamTokens: after.UpstreamTokens - before.UpstreamTokens,
+			SharedHits:     (after.CacheHits + after.Coalesced) - (before.CacheHits + before.Coalesced),
+			Balanced:       after.Balanced,
+			WallMS:         wall.Milliseconds(),
+		}, nil
+	}
+
+	var rows []ServerBenchRow
+	for _, name := range []string{"server-cold-burst", "server-warm-burst"} {
+		row, err := round(name)
+		if err != nil {
+			return nil, err
+		}
+		if !row.Balanced {
+			return nil, fmt.Errorf("server bench %s: tenant ledger does not sum to the upstream counters", row.Name)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestServerBenchPinned pins the declserver burst economics on the stock
+// sim engine: six concurrent submissions across three tenants cost
+// exactly one cold run of the workload (the shared cache and coalescer
+// absorb the other five), and a second burst against the same resident
+// server is upstream-free. Every ask is served exactly once — upstream,
+// cache, or coalesced — so the shared-hit sums are stable however the
+// hit/coalesce split falls. A diff here means the service changed what
+// tenants pay; rebase the numbers only with an explanation.
+func TestServerBenchPinned(t *testing.T) {
+	rows, err := ServerBench(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ServerBenchRow{
+		{Name: "server-cold-burst", Tenants: 3, Submissions: 6, Completed: 6,
+			UpstreamCalls: 30, UpstreamTokens: 2520, SharedHits: 168, Balanced: true},
+		{Name: "server-warm-burst", Tenants: 3, Submissions: 6, Completed: 6,
+			UpstreamCalls: 0, UpstreamTokens: 0, SharedHits: 198, Balanced: true},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		g := rows[i]
+		if g.Name != w.Name || g.Tenants != w.Tenants || g.Submissions != w.Submissions ||
+			g.Completed != w.Completed || g.UpstreamCalls != w.UpstreamCalls ||
+			g.UpstreamTokens != w.UpstreamTokens || g.SharedHits != w.SharedHits ||
+			g.Balanced != w.Balanced {
+			t.Errorf("%s: {tenants %d, subs %d, done %d, calls %d, tokens %d, shared %d, balanced %v} differs from pinned {%d, %d, %d, %d, %d, %d, %v}",
+				g.Name, g.Tenants, g.Submissions, g.Completed, g.UpstreamCalls, g.UpstreamTokens, g.SharedHits, g.Balanced,
+				w.Tenants, w.Submissions, w.Completed, w.UpstreamCalls, w.UpstreamTokens, w.SharedHits, w.Balanced)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 	"repro/internal/workflow"
 )
 
@@ -77,6 +79,10 @@ type session struct {
 	attr     *workflow.Attribution
 	source   []dataset.Record
 	engine   string
+	// srv is the session's declserver core, built lazily by the first
+	// server turn and reused by later ones — the long-running service
+	// whose warm substrate spans tenant waves.
+	srv *server.Server
 }
 
 // snapshot reads the cumulative counters: upstream truth from the
@@ -209,6 +215,10 @@ func validate(sc *Scenario) error {
 		names[t.Name] = true
 		switch t.Kind {
 		case TurnIngest, TurnQuery, TurnBurst, TurnLatency, TurnIdle:
+		case TurnServer:
+			if t.Server == nil || len(t.Server.Waves) == 0 {
+				return fmt.Errorf("scenario %s: server turn %q has no waves", sc.ID, t.Name)
+			}
 		default:
 			return fmt.Errorf("scenario %s: turn %q has unknown kind %q", sc.ID, t.Name, t.Kind)
 		}
@@ -266,6 +276,11 @@ func (h *Harness) runTurn(ctx context.Context, sc *Scenario, s *session, turn Tu
 			return tr, err
 		}
 		h.describeRun(sc, turn, res, &tr)
+
+	case TurnServer:
+		if err := h.runServer(ctx, sc, s, turn, &tr); err != nil {
+			return tr, err
+		}
 	}
 
 	tr.Wall = time.Since(start)
@@ -376,6 +391,105 @@ func (h *Harness) runBurst(ctx context.Context, sc *Scenario, s *session, turn T
 	return results[0], nil
 }
 
+// sessionServer returns the session's declserver core, building it on the
+// first server turn: the service runs on the session's own engine stack —
+// the counting model as its upstream (so the session snapshot stays the
+// single source of truth for calls and tokens), the shared exec layer,
+// registry, and the session ledger as the per-tenant attribution. Every
+// job the server runs uses a fresh per-run stage ledger internally, so the
+// session ledger records each genuine upstream call exactly once, under
+// its tenant label — which keeps the harness's attributed==total invariant
+// intact for server scenarios.
+func (s *session) sessionServer(sc *Scenario, load *ServerLoad) *server.Server {
+	if s.srv != nil {
+		return s.srv
+	}
+	tenants := make(map[string]server.TenantLimits, len(load.Waves))
+	for _, w := range load.Waves {
+		rate := w.Rate
+		if rate <= 0 {
+			// Effectively no refill: the burst alone decides admission, so
+			// the rejected count is deterministic whatever the turn's wall
+			// clock.
+			rate = 1e-9
+		}
+		tenants[w.Tenant] = server.TenantLimits{Rate: rate, Burst: w.Burst}
+	}
+	s.srv = server.New(server.Config{
+		Model:         s.counting,
+		Exec:          s.exec,
+		Registry:      s.registry,
+		Ledger:        s.attr,
+		MaxConcurrent: load.MaxConcurrent,
+		MaxQueue:      load.MaxQueue,
+		Tenants:       tenants,
+		Batch:         sc.Exec.Batch,
+		Parallelism:   sc.Exec.Parallelism,
+		Chunk:         sc.Exec.Chunk,
+		Adaptive:      sc.Exec.Adaptive,
+	})
+	return s.srv
+}
+
+// runServer drives one server turn: every wave's submissions fire
+// concurrently at the session's declserver, each a synchronous submit of
+// the turn's spec over the session tables. Admission refusals (throttled
+// or over capacity) are counted, not fatal; any other failure aborts the
+// turn. The turn result carries the refusal count, the ledger-balance
+// verdict, and the first completed job's rows and scalars (temperature 0:
+// all completed jobs agree).
+func (h *Harness) runServer(ctx context.Context, sc *Scenario, s *session, turn Turn, tr *TurnResult) error {
+	srv := s.sessionServer(sc, turn.Server)
+	spec := turnSpec(sc, turn)
+	tables := s.tables(sc)
+
+	var total int
+	for _, w := range turn.Server.Waves {
+		total += w.Submissions
+	}
+	statuses := make([]*server.JobStatus, total)
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	i := 0
+	for _, w := range turn.Server.Waves {
+		for k := 0; k < w.Submissions; k++ {
+			wg.Add(1)
+			go func(i int, tenant string) {
+				defer wg.Done()
+				statuses[i], errs[i] = srv.Submit(ctx, server.SubmitRequest{
+					Tenant: tenant, Spec: spec, Tables: tables,
+				})
+			}(i, w.Tenant)
+			i++
+		}
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			st := statuses[i]
+			if st.State != server.JobDone || st.Result == nil {
+				return fmt.Errorf("submission %d ended %s: %s", i, st.State, st.Error)
+			}
+			if tr.Rows == 0 {
+				last := spec.Stages[len(spec.Stages)-1].Name
+				tr.Rows = len(st.Result.Tables[last])
+				if len(st.Result.Scalars) > 0 {
+					tr.Scalars = st.Result.Scalars
+				}
+			}
+		case errors.Is(err, server.ErrRateLimited), errors.Is(err, server.ErrBusy):
+			tr.Rejected++
+		default:
+			return fmt.Errorf("submission %d: %w", i, err)
+		}
+	}
+	_, _, ok := srv.Balanced()
+	tr.Balanced = &ok
+	return nil
+}
+
 // compareBatch re-runs the turn's spec over the session's final record
 // set (static table plus everything fed) on a completely fresh engine —
 // new model instance, empty cache, empty ledger, no latency — and
@@ -447,6 +561,17 @@ func evalCheckpoint(cp Checkpoint, at Snapshot, tr TurnResult) CheckpointResult 
 	}
 	if cp.RequireDetail != "" && !detailContains(tr.Details, cp.RequireDetail) {
 		add("no stage detail contains %q (details: %v)", cp.RequireDetail, tr.Details)
+	}
+	if cp.WantRejected > 0 && tr.Rejected != cp.WantRejected {
+		add("turn rejected %d submissions, want %d", tr.Rejected, cp.WantRejected)
+	}
+	if cp.RequireBalanced {
+		switch {
+		case tr.Balanced == nil:
+			add("turn ran no ledger-balance check (not a server turn)")
+		case !*tr.Balanced:
+			add("per-tenant ledger does not sum to the upstream counter")
+		}
 	}
 	return CheckpointResult{
 		Checkpoint: cp.Name, Turn: cp.AfterTurn,

@@ -56,7 +56,41 @@ const (
 	// TurnIdle pauses the session for Pause — a traffic lull between
 	// bursts.
 	TurnIdle TurnKind = "idle"
+	// TurnServer drives multi-tenant traffic through a declserver core
+	// (internal/server) stood up over the session's engine stack: each
+	// tenant wave submits concurrent copies of the pipeline, the service
+	// admits or throttles them per tenant, and the turn records how many
+	// submissions were rejected and whether the tenant ledger balanced
+	// against the upstream counter. The server persists across the
+	// scenario's server turns, so later waves ride earlier waves' warm
+	// cache — the multi-tenant restatement of the warm-replay property.
+	TurnServer TurnKind = "server"
 )
+
+// TenantWave is one tenant's burst within a server turn.
+type TenantWave struct {
+	// Tenant is the tenant ID; Submissions its concurrent submission count.
+	Tenant      string
+	Submissions int
+	// Rate and Burst parameterise the tenant's admission bucket. A zero
+	// Rate pins a negligible refill so Burst alone decides — the
+	// deterministic configuration the checkpointed scenarios need.
+	Rate  float64
+	Burst int
+}
+
+// ServerLoad describes one server turn. The session's declserver is built
+// from the scenario's first server turn: its gate knobs and the union of
+// its waves' tenant limits configure the service; later server turns reuse
+// it (warm, same buckets' configuration) and may only submit as tenants
+// declared there.
+type ServerLoad struct {
+	// MaxConcurrent and MaxQueue configure the service's global gate
+	// (zero values take the server defaults).
+	MaxConcurrent, MaxQueue int
+	// Waves all submit concurrently — one goroutine per submission.
+	Waves []TenantWave
+}
 
 // Turn is one step of a scenario's traffic pattern.
 type Turn struct {
@@ -85,6 +119,8 @@ type Turn struct {
 	Latency time.Duration
 	// Pause is the idle duration (TurnIdle).
 	Pause time.Duration
+	// Server is the multi-tenant load to drive (TurnServer).
+	Server *ServerLoad
 }
 
 // ExecKnobs carries the pipeline ExecConfig fields a scenario pins for
@@ -156,6 +192,12 @@ type Checkpoint struct {
 	// RequireDetail asserts some stage detail of the turn's run contains
 	// this substring (e.g. "order revised 1 times").
 	RequireDetail string
+	// WantRejected pins the server turn's refused-submission count
+	// (0 skips) — the throttled tenant's overflow must bounce, exactly.
+	WantRejected int
+	// RequireBalanced asserts the server turn's per-tenant ledger summed
+	// exactly to the service's upstream call counter.
+	RequireBalanced bool
 }
 
 // Snapshot is the cumulative counter state a checkpoint evaluated
@@ -193,6 +235,13 @@ type TurnResult struct {
 	Details map[string]string `json:"details,omitempty"`
 	// Identical reports the CompareBatch outcome (nil = not compared).
 	Identical *bool `json:"identical,omitempty"`
+	// Rejected counts server-turn submissions refused at admission —
+	// throttled (429) plus over-capacity (503).
+	Rejected int `json:"rejected,omitempty"`
+	// Balanced reports the server-turn ledger check: per-tenant attributed
+	// spend sums exactly to the service's upstream counter (nil = not a
+	// server turn).
+	Balanced *bool `json:"balanced,omitempty"`
 }
 
 // CheckpointResult is one checkpoint's verdict.

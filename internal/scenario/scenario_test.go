@@ -21,12 +21,13 @@ import (
 var pinnedTotals = map[string]struct {
 	calls, tokens, sharedHits int
 }{
-	"cold-start":            {3, 85, 9},
-	"warm-cache-replay":     {3, 85, 21},
-	"mid-run-ingestion":     {3, 85, 17},
-	"burst-load":            {3, 85, 45},
-	"overlap-ingestion":     {12, 578, 12},
-	"adaptive-replan-drift": {3, 86, 16},
+	"cold-start":              {3, 85, 9},
+	"warm-cache-replay":       {3, 85, 21},
+	"mid-run-ingestion":       {3, 85, 17},
+	"burst-load":              {3, 85, 45},
+	"overlap-ingestion":       {12, 578, 12},
+	"adaptive-replan-drift":   {3, 86, 16},
+	"declserver-multi-tenant": {3, 85, 93},
 }
 
 // TestPrebuiltScenariosPass runs every pre-built scenario on the default

@@ -312,6 +312,60 @@ func AdaptiveReplanDrift() *Scenario {
 	}
 }
 
+// DeclserverMultiTenant drives bursty two-tenant traffic through a
+// declserver core on the session engine: a throttled "free" tenant
+// over-submits and must bounce off its admission bucket with the overflow
+// rejected exactly, a "pro" tenant's wave must all complete, every
+// completed job must ride the one shared cache (3 upstream calls total,
+// ever), the per-tenant ledger must sum to the upstream counter at every
+// checkpoint, and the pro tenant's follow-up turn must be upstream-free
+// and fast — the throttled neighbour never starved it.
+func DeclserverMultiTenant() *Scenario {
+	return &Scenario{
+		ID:   "declserver-multi-tenant",
+		Name: "Multi-tenant service under bursty traffic",
+		Description: "Two tenants share one declserver: \"free\" (burst 2) fires 6 " +
+			"concurrent submissions — exactly 4 bounce with 429 — while \"pro\" " +
+			"(burst 64) lands 4; the 6 admitted runs cost the 3 unique upstream " +
+			"calls once, ever. A follow-up pro-only turn must be upstream-free and " +
+			"fast, and the per-tenant ledger must sum to the upstream counter at " +
+			"both checkpoints.",
+		Spec:       kindSpec(),
+		Source:     kindRecords(),
+		Exec:       ExecKnobs{Parallelism: 2, Chunk: 2},
+		Predicates: kindPredicates(),
+		Turns: []Turn{
+			{Name: "mixed-burst", Kind: TurnServer, Server: &ServerLoad{
+				MaxConcurrent: 2, MaxQueue: 16,
+				Waves: []TenantWave{
+					{Tenant: "free", Submissions: 6, Burst: 2},
+					{Tenant: "pro", Submissions: 4, Burst: 64},
+				},
+			}},
+			{Name: "steady-pro", Kind: TurnServer, Server: &ServerLoad{
+				Waves: []TenantWave{
+					{Tenant: "pro", Submissions: 2, Burst: 64},
+				},
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{
+				Name: "throttled-exactly", AfterTurn: "mixed-burst",
+				MinCalls: 3, MaxCalls: 3, WantRejected: 4, RequireBalanced: true,
+				WantRows: 4, WantScalars: map[string]string{"tally": "4"},
+				MaxTurnWall: 30 * time.Second,
+			},
+			{
+				Name: "warm-tenants", AfterTurn: "steady-pro",
+				MaxCalls: 3, FreeTurn: true, RequireBalanced: true,
+				MinSharedHits: 93, WantRows: 4,
+				WantScalars: map[string]string{"tally": "4"},
+				MaxTurnWall: 30 * time.Second,
+			},
+		},
+	}
+}
+
 // List returns the pre-built scenarios in their canonical order. Each
 // call builds fresh values, so callers may mutate freely.
 func List() []*Scenario {
@@ -322,6 +376,7 @@ func List() []*Scenario {
 		BurstLoad(),
 		OverlapIngestion(),
 		AdaptiveReplanDrift(),
+		DeclserverMultiTenant(),
 	}
 }
 

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// gate is the service-wide concurrency cap with bounded queueing: at most
+// cap jobs run at once, at most queue more wait for a slot, and anything
+// beyond that is refused outright (ErrBusy → HTTP 503). Admission is split
+// in two so the 503 decision is synchronous at submit time even for async
+// jobs: reserve either takes a free slot or books a queue position (or
+// refuses), and wait blocks a queued ticket until a slot frees. Slots are
+// a buffered-channel semaphore, so out-of-order releases — jobs finishing
+// in any order — are naturally correct; the fuzz harness hammers exactly
+// that property.
+type gate struct {
+	slots chan struct{}
+
+	mu      sync.Mutex
+	queue   int
+	waiting int
+}
+
+func newGate(capacity, queue int) *gate {
+	return &gate{slots: make(chan struct{}, capacity), queue: queue}
+}
+
+// ticket is one reservation's state. Zero value is invalid; obtain from
+// reserve.
+type ticket struct {
+	acquired bool
+}
+
+// reserve takes a running slot if one is free, otherwise books a queue
+// position, otherwise fails with ErrBusy.
+func (g *gate) reserve() (*ticket, error) {
+	select {
+	case g.slots <- struct{}{}:
+		return &ticket{acquired: true}, nil
+	default:
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.waiting >= g.queue {
+		return nil, ErrBusy
+	}
+	g.waiting++
+	return &ticket{}, nil
+}
+
+// wait blocks a queued ticket until a slot frees or ctx is cancelled. The
+// queue position is surrendered either way; on success the ticket holds a
+// running slot. No-op for tickets that acquired their slot at reserve.
+func (g *gate) wait(ctx context.Context, t *ticket) error {
+	if t.acquired {
+		return nil
+	}
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		t.acquired = true
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the ticket's slot. Safe for any completion order and
+// idempotent per ticket; a never-acquired ticket (cancelled in queue)
+// releases nothing.
+func (g *gate) release(t *ticket) {
+	if !t.acquired {
+		return
+	}
+	t.acquired = false
+	<-g.slots
+}
+
+// load snapshots the gate: slots in use and tickets waiting.
+func (g *gate) load() (running, waiting int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.slots), g.waiting
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestServerConformanceByteIdentical pins the service against the
+// library: at temperature zero (the sim oracle is deterministic), a spec
+// submitted through the server must produce byte-for-byte the same wire
+// result as the same spec run cold through pipeline.Run with the same
+// knobs — the server adds tenancy, not semantics. JobResultOf renders
+// both sides identically, and encoding/json sorts map keys, so the
+// comparison is stable.
+func TestServerConformanceByteIdentical(t *testing.T) {
+	tables := kindTable("conf", 8, "tool", "toy", "tool", "gadget")
+
+	srv := New(Config{Model: testOracle()})
+	st, err := srv.Submit(context.Background(), SubmitRequest{
+		Tenant: "t", Spec: toolSpec(), Tables: tables,
+	})
+	if err != nil || st.State != JobDone {
+		t.Fatalf("server run: err %v, state %+v", err, st)
+	}
+	remote, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The cold local run: a fresh compile against a fresh substrate, with
+	// the zero ExecConfig knobs the server defaults to.
+	p, err := pipeline.Compile(toolSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), pipeline.ExecConfig{Model: testOracle()}, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := json.Marshal(JobResultOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(remote, local) {
+		t.Fatalf("server and cold library runs diverge:\nserver: %s\nlocal:  %s", remote, local)
+	}
+
+	// Warm conformance: replaying the submission serves entirely from the
+	// shared cache — zero new upstream calls — and the content (tables,
+	// scalars, stage shapes) must not move. The spend counters legitimately
+	// drop to zero on a warm run (they count genuine upstream calls only),
+	// so the byte comparison runs on spend-normalized copies.
+	before := srv.Stats().UpstreamCalls
+	st2, err := srv.Submit(context.Background(), SubmitRequest{
+		Tenant: "t2", Spec: toolSpec(), Tables: tables,
+	})
+	if err != nil || st2.State != JobDone {
+		t.Fatalf("warm run: err %v, state %+v", err, st2)
+	}
+	if after := srv.Stats().UpstreamCalls; after != before {
+		t.Fatalf("warm replay cost %d upstream calls, want 0", after-before)
+	}
+	warm, cold := stripSpend(st2.Result), stripSpend(st.Result)
+	warmB, _ := json.Marshal(warm)
+	coldB, _ := json.Marshal(cold)
+	if !bytes.Equal(warmB, coldB) {
+		t.Fatalf("warm replay content diverges from the cold run:\nwarm: %s\ncold: %s", warmB, coldB)
+	}
+}
+
+// stripSpend copies a result with the genuine-upstream spend counters
+// zeroed, leaving only content: tables, scalars, and stage shapes.
+func stripSpend(r *JobResult) *JobResult {
+	out := *r
+	out.Calls, out.Tokens, out.Cost = 0, 0, 0
+	out.Stages = append([]StageStatus(nil), r.Stages...)
+	for i := range out.Stages {
+		out.Stages[i].Calls, out.Stages[i].Tokens, out.Stages[i].Cost = 0, 0, 0
+	}
+	return &out
+}

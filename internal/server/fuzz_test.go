@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+// fuzzTS lazily builds one server + test listener shared across fuzz
+// iterations: a wedged or corrupted server surfaces as later iterations
+// failing, which is exactly the robustness property under test.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *httptest.Server
+)
+
+func fuzzServer() *httptest.Server {
+	fuzzOnce.Do(func() {
+		fuzzSrv = httptest.NewServer(New(Config{Model: testOracle()}).Handler())
+	})
+	return fuzzSrv
+}
+
+// FuzzServerSpecSubmit throws hostile bodies at POST /v1/pipelines: the
+// server must answer every one with a deliberate status — 400 for
+// garbage, the admission codes for valid-but-refused submissions, 200/202
+// for runnable ones — and never a 500, a panic, or a wedged listener.
+func FuzzServerSpecSubmit(f *testing.F) {
+	f.Add([]byte(`{"tenant":"t","spec":{"stages":[{"name":"keep","kind":"filter","field":"kind","predicate":"the kind is tool"}]},"tables":{"source":[{"ID":"a","Fields":[{"Name":"kind","Value":"tool"}]}]}}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"tenant":"../../etc/passwd","spec":{"stages":[]}}`))
+	f.Add([]byte(`{"tenant":"t","spec":{"stages":[{"kind":"no-such-operator"}]}}`))
+	f.Add([]byte(`{"tenant":"t","async":true}`))
+	f.Add([]byte(`{"tenant":"t","spec":{"stages":[{"name":"a","kind":"filter"},{"name":"a","kind":"filter"}]}}`))
+	f.Add(bytes.Repeat([]byte(`{"spec":`), 2000))
+
+	ts := fuzzServer()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(ts.URL+"/v1/pipelines", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (wedged server?): %v", err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted, http.StatusBadRequest,
+			http.StatusPaymentRequired, http.StatusTooManyRequests,
+			http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("submit answered %d for %q — hostile input must map to a deliberate status", resp.StatusCode, body)
+		}
+		health, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz unreachable after %q: %v", body, err)
+		}
+		health.Body.Close()
+		if health.StatusCode != http.StatusOK {
+			t.Fatalf("healthz %d after %q — a bad submission must not degrade the service", health.StatusCode, body)
+		}
+	})
+}
+
+// FuzzAdmissionGate drives the gate through byte-decoded op sequences —
+// reserve, wait-with-cancelled-context, release (including double
+// release) — and checks exact accounting after every step: the slot
+// count equals the live tickets, the waiting count equals the queued
+// ones, neither ever exceeds its bound, and draining every ticket at the
+// end leaves the gate empty. This is the out-of-order-release property
+// the concurrent battery exercises with real jobs, minimized.
+func FuzzAdmissionGate(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 0, 0, 2, 1, 2})
+	f.Add([]byte{3, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 2, 0, 0, 1, 1, 2, 2, 2})
+	f.Add([]byte{2, 3, 0, 1, 0, 2, 0, 1, 2, 0, 1, 2})
+
+	const stateQueued, stateRunning, stateDone = 0, 1, 2
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		capacity := 1 + int(data[0]%4)
+		queue := int(data[1] % 4)
+		g := newGate(capacity, queue)
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+
+		type slot struct {
+			tk    *ticket
+			state int
+		}
+		var tickets []slot
+		count := func(state int) int {
+			n := 0
+			for _, s := range tickets {
+				if s.state == state {
+					n++
+				}
+			}
+			return n
+		}
+		check := func(op string) {
+			t.Helper()
+			running, waiting := g.load()
+			if running != count(stateRunning) || waiting != count(stateQueued) {
+				t.Fatalf("after %s: load (%d, %d) disagrees with tickets (%d running, %d queued)",
+					op, running, waiting, count(stateRunning), count(stateQueued))
+			}
+			if running > capacity || waiting > queue {
+				t.Fatalf("after %s: load (%d, %d) exceeds bounds (cap %d, queue %d)", op, running, waiting, capacity, queue)
+			}
+		}
+
+		for _, b := range data[2:] {
+			switch b % 3 {
+			case 0: // reserve
+				tk, err := g.reserve()
+				if err != nil {
+					running, waiting := g.load()
+					if running < capacity || waiting < queue {
+						t.Fatalf("ErrBusy with free capacity: load (%d, %d) under (cap %d, queue %d)", running, waiting, capacity, queue)
+					}
+				} else if tk.acquired {
+					tickets = append(tickets, slot{tk, stateRunning})
+				} else {
+					tickets = append(tickets, slot{tk, stateQueued})
+				}
+				check("reserve")
+			case 1: // cancelled wait on the oldest queued ticket
+				for i := range tickets {
+					if tickets[i].state != stateQueued {
+						continue
+					}
+					// With a free slot the select may legitimately pick
+					// either arm; both outcomes must keep the books.
+					if err := g.wait(cancelled, tickets[i].tk); err == nil {
+						tickets[i].state = stateRunning
+					} else {
+						tickets[i].state = stateDone
+					}
+					break
+				}
+				check("wait")
+			case 2: // release the oldest running ticket, then once more
+				for i := range tickets {
+					if tickets[i].state != stateRunning {
+						continue
+					}
+					g.release(tickets[i].tk)
+					g.release(tickets[i].tk) // idempotent per ticket
+					tickets[i].state = stateDone
+					break
+				}
+				check("release")
+			}
+		}
+
+		// Drain: surrender every queued position, return every slot.
+		for i := range tickets {
+			if tickets[i].state == stateQueued {
+				if err := g.wait(cancelled, tickets[i].tk); err == nil {
+					tickets[i].state = stateRunning
+				} else {
+					tickets[i].state = stateDone
+				}
+			}
+			if tickets[i].state == stateRunning {
+				g.release(tickets[i].tk)
+				tickets[i].state = stateDone
+			}
+		}
+		if running, waiting := g.load(); running != 0 || waiting != 0 {
+			t.Fatalf("drained gate still loaded: (%d, %d)", running, waiting)
+		}
+	})
+}
+
+// TestRateLimiterBurstExactUnderConcurrency pins the admission property
+// the 429 semantics rest on: a bucket with negligible refill admits
+// exactly its burst under concurrent contention — no double-spend of a
+// token when Allow races, no lost admission either.
+func TestRateLimiterBurstExactUnderConcurrency(t *testing.T) {
+	const burst = 8
+	l := workflow.NewRateLimiter(1e-9, burst)
+	var wg sync.WaitGroup
+	results := make([]bool, 3*burst)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = l.Allow()
+		}(i)
+	}
+	wg.Wait()
+	admitted := 0
+	for _, ok := range results {
+		if ok {
+			admitted++
+		}
+	}
+	if admitted != burst {
+		t.Fatalf("admitted %d of %d concurrent calls, want exactly the burst %d", admitted, len(results), burst)
+	}
+}

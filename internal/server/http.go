@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/workflow"
+)
+
+// maxBodyBytes bounds a submission body; anything larger is a 400, not a
+// wedged decoder.
+const maxBodyBytes = 8 << 20
+
+// apiError is the JSON error envelope, mirroring internal/llm/httpapi.
+type apiError struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, typ, msg string) {
+	var e apiError
+	e.Error.Message = msg
+	e.Error.Type = typ
+	writeJSON(w, code, e)
+}
+
+// statusFor maps the server's sentinel errors onto HTTP semantics: the
+// caller's fault (400), over the tenant's rate (429), over the tenant's
+// budget (402), no capacity or shutting down (503), unknown resource
+// (404), everything else the server's fault (500).
+func statusFor(err error) (code int, typ string) {
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest, "invalid_request_error"
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests, "rate_limit_error"
+	case errors.Is(err, workflow.ErrBudgetExhausted):
+		return http.StatusPaymentRequired, "budget_exhausted_error"
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "overloaded_error"
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, "not_found_error"
+	default:
+		return http.StatusInternalServerError, "server_error"
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	code, typ := statusFor(err)
+	writeError(w, code, typ, err.Error())
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/pipelines           submit a Spec (sync, or async with poll)
+//	GET    /v1/jobs/{id}           job status and, when done, the result
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/tenants/{id}/report tenant spend, latency, cache-hit share
+//	GET    /v1/stats               service-wide counters
+//	GET    /healthz                liveness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/pipelines", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/tenants/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed request body: "+err.Error())
+		return
+	}
+	st, err := s.Submit(r.Context(), req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	code := http.StatusOK
+	if req.Async {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Report(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "overloaded_error", "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -38,6 +38,28 @@ func StageTag(ctx context.Context) string {
 	return s
 }
 
+// tenantTagKey is the context key carrying the current tenant label. It is
+// distinct from stageTagKey so a multi-tenant service can attribute the
+// same call twice along orthogonal axes: per stage inside one run's ledger
+// and per tenant in a service-wide ledger, without either tag clobbering
+// the other.
+type tenantTagKey struct{}
+
+// TagTenant returns a context whose LLM calls are attributed to the given
+// tenant label. A pipeline service tags each job's context before running
+// it; the executor then layers stage tags on top per stage, and both labels
+// ride the same context to every wrapper below the cache.
+func TagTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantTagKey{}, tenant)
+}
+
+// TenantTag returns the tenant label attached to ctx, or "" when the call
+// is untagged (a run outside any multi-tenant service).
+func TenantTag(ctx context.Context) string {
+	s, _ := ctx.Value(tenantTagKey{}).(string)
+	return s
+}
+
 // StageTiming aggregates one stage's observed streaming behaviour: how
 // long it spent doing work versus waiting for input, and how many
 // micro-batches (chunks) and records flowed through it. The pipeline
@@ -157,18 +179,28 @@ func (a *Attribution) Total() (token.Usage, float64) {
 }
 
 // AttributingModel wraps a model so every upstream call's usage is
-// recorded in an Attribution under the context's stage tag. It sits below
-// the batcher and the cache (the engine's session wires it there), so it
-// observes exactly the calls a vendor would bill: one record per envelope,
-// none for cache hits.
+// recorded in an Attribution under a label drawn from the call's context.
+// It sits below the batcher and the cache (the engine's session wires it
+// there), so it observes exactly the calls a vendor would bill: one record
+// per envelope, none for cache hits.
 type AttributingModel struct {
 	inner llm.Model
 	attr  *Attribution
+	label func(context.Context) string
 }
 
-// NewAttributing wraps m, recording into a.
+// NewAttributing wraps m, recording into a under the context's stage tag.
 func NewAttributing(m llm.Model, a *Attribution) *AttributingModel {
-	return &AttributingModel{inner: m, attr: a}
+	return NewAttributingBy(m, a, StageTag)
+}
+
+// NewAttributingBy wraps m, recording into a under label(ctx). The label
+// function picks the rollup axis: StageTag breaks a run down per stage
+// (the pipeline report), TenantTag breaks a service down per tenant (the
+// declserver ledger). Both wrappers can stack on one model — each records
+// the same genuine upstream calls into its own ledger.
+func NewAttributingBy(m llm.Model, a *Attribution, label func(context.Context) string) *AttributingModel {
+	return &AttributingModel{inner: m, attr: a, label: label}
 }
 
 // Name implements llm.Model.
@@ -181,7 +213,7 @@ func (m *AttributingModel) Name() string { return m.inner.Name() }
 func (m *AttributingModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
 	resp, err := m.inner.Complete(ctx, req)
 	if !resp.Usage.IsZero() {
-		m.attr.Record(StageTag(ctx), m.inner.Name(), resp.Usage)
+		m.attr.Record(m.label(ctx), m.inner.Name(), resp.Usage)
 	}
 	return resp, err
 }

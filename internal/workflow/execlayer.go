@@ -1,6 +1,7 @@
 package workflow
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -33,6 +34,18 @@ type BatchObserver interface {
 	ObserveBatch(envelopes, packed, soloRetries int)
 }
 
+// ServeObserver receives every unit ask that passes through an ExecLayer's
+// Wrap, with the ask's own context — which a multi-tenant service has
+// tagged per tenant (TagTenant) — and whether the layer served it free.
+// "Free" means the response carried zero usage: a cache hit or a coalesced
+// follower (and, when an engine batches below the layer, a batch co-rider
+// whose envelope was billed to its leader). The layer's global Stats can
+// only report aggregate hit counts; this per-ask callback is what lets a
+// service split them by tenant exactly, even under concurrent jobs.
+type ServeObserver interface {
+	ObserveServe(ctx context.Context, free bool)
+}
+
 // ExecLayer is the shared high-throughput execution substrate: one
 // sharded response cache plus one in-flight coalescer that span every
 // operator (and every engine) wrapped against it. Without it, each
@@ -55,10 +68,18 @@ type ExecLayer struct {
 	batches     atomic.Int64
 	soloRetries atomic.Int64
 
+	// serveObs holds the optional ServeObserver (serveObsBox), consulted
+	// per ask by the wrapper Wrap layers on top of the cache.
+	serveObs atomic.Value
+
 	// stateMu guards the optional persistence attachment (OpenState).
 	stateMu sync.Mutex
 	log     *CacheLog
 }
+
+// serveObsBox gives atomic.Value one concrete type whatever the observer's
+// dynamic type is.
+type serveObsBox struct{ obs ServeObserver }
 
 // NewExecLayer returns a layer with a DefaultCacheShards-way cache.
 func NewExecLayer() *ExecLayer { return NewExecLayerShards(0) }
@@ -74,9 +95,39 @@ func (l *ExecLayer) Cache() *Cache { return l.cache }
 
 // Wrap layers the shared cache and coalescer over m: lookups hit the cache
 // first; misses coalesce with identical in-flight requests; only flight
-// leaders reach m.
+// leaders reach m. When a ServeObserver is attached, every successful ask
+// is additionally reported to it with the ask's context.
 func (l *ExecLayer) Wrap(m llm.Model) llm.Model {
-	return NewCachedWith(NewCoalescingWith(m, l.flights), l.cache)
+	return &observedModel{inner: NewCachedWith(NewCoalescingWith(m, l.flights), l.cache), layer: l}
+}
+
+// SetServeObserver attaches (or, with nil, detaches) the per-ask observer.
+// Safe to call concurrently with in-flight requests; asks already past the
+// observation point keep the observer they loaded.
+func (l *ExecLayer) SetServeObserver(o ServeObserver) {
+	l.serveObs.Store(serveObsBox{obs: o})
+}
+
+// observedModel sits on top of an ExecLayer's cache and reports each
+// successful ask to the layer's ServeObserver, classifying it free when the
+// response carried zero usage (served without a fresh billed upstream call).
+type observedModel struct {
+	inner llm.Model
+	layer *ExecLayer
+}
+
+// Name implements llm.Model.
+func (m *observedModel) Name() string { return m.inner.Name() }
+
+// Complete implements llm.Model.
+func (m *observedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := m.inner.Complete(ctx, req)
+	if err == nil {
+		if box, ok := m.layer.serveObs.Load().(serveObsBox); ok && box.obs != nil {
+			box.obs.ObserveServe(ctx, resp.Usage.IsZero())
+		}
+	}
+	return resp, err
 }
 
 // ObserveBatch implements BatchObserver.
