@@ -30,6 +30,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/resil"
 	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/workflow"
@@ -69,6 +70,11 @@ func main() {
 	plAdaptive := sub.Bool("adaptive", false, "enable the adaptive runtime for pipeline: self-tuned chunk widths, side-input overlap, mid-run filter re-ordering")
 	plChunkMin := sub.Int("chunk-min", 0, "adaptive chunk width floor for pipeline (0 = 1)")
 	plChunkMax := sub.Int("chunk-max", 0, "adaptive chunk width ceiling for pipeline (0 = 64)")
+	plFaults := sub.String("faults", "",
+		"inject deterministic upstream faults for pipeline: key=val,... over seed, transient, timeout, ratelimit, permanent, malformed, wrong-section, burst-every, burst-len (empty = none)")
+	plRetries := sub.Int("retries", 3, "max attempts per upstream call for pipeline when -faults is set (1 = no retries)")
+	plOnRecordError := sub.String("on-record-error", "",
+		"degraded-mode record policy for pipeline: fail (default), skip, or quarantine")
 	plRecords := sub.Int("records", 24, "base source records for pipeline-study")
 	plDup := sub.Float64("dup", 0.4, "duplicated fraction for pipeline-study")
 	benchIters := sub.Int("iters", 3, "iterations per bench configuration")
@@ -264,17 +270,37 @@ func main() {
 		if err != nil {
 			return err
 		}
-		counting := llm.NewCounting(sim.NewNamed(*plModel))
+		// Chaos stack, bottom-up: sim oracle → fault injector → retry
+		// policy → call counter. The policy sits below the counter (and
+		// the shared cache), so retries stay invisible to billing and the
+		// cache only ever sees healed answers.
+		base := llm.Model(sim.NewNamed(*plModel))
+		var faulty *llm.FaultyModel
+		var rm *resil.Model
+		if *plFaults != "" {
+			plan, err := llm.ParseFaultPlan(*plFaults)
+			if err != nil {
+				return err
+			}
+			faulty = llm.WithFaults(base, plan)
+			rm = resil.Wrap(faulty, resil.Policy{
+				MaxAttempts: *plRetries,
+				BaseBackoff: time.Millisecond,
+			})
+			base = rm
+		}
+		counting := llm.NewCounting(base)
 		execCfg := pipeline.ExecConfig{
-			Model:        counting,
-			Batch:        *batch,
-			Parallelism:  16,
-			Chunk:        *plChunk,
-			Adaptive:     *plAdaptive,
-			ChunkMin:     *plChunkMin,
-			ChunkMax:     *plChunkMax,
-			Materialized: *plMaterialized || *plNaive,
-			Isolated:     *plNaive,
+			Model:         counting,
+			Batch:         *batch,
+			Parallelism:   16,
+			Chunk:         *plChunk,
+			Adaptive:      *plAdaptive,
+			ChunkMin:      *plChunkMin,
+			ChunkMax:      *plChunkMax,
+			Materialized:  *plMaterialized || *plNaive,
+			Isolated:      *plNaive,
+			OnRecordError: *plOnRecordError,
 			// Persistent layer and ledger so probe work is re-served from
 			// cache by the run and reported as the __probe row.
 			Exec:        workflow.NewExecLayer(),
@@ -310,6 +336,14 @@ func main() {
 		fmt.Print(pipeline.FormatResult(res))
 		total := counting.Total()
 		fmt.Printf("upstream: %d calls, %d tokens\n", total.Calls, total.Total())
+		if res.Skipped > 0 || res.Quarantined > 0 {
+			fmt.Printf("degraded: %d skipped, %d quarantined\n", res.Skipped, res.Quarantined)
+		}
+		if faulty != nil {
+			fs, rs := faulty.Stats(), rm.Stats()
+			fmt.Printf("resilience: %d faults injected, %d attempts, %d retries, %d breaker opens\n",
+				fs.Injected(), rs.Attempts, rs.Retries, rs.BreakerOpens)
+		}
 		return nil
 	}
 	pipelineStudy := func() error {
@@ -586,7 +620,10 @@ commands:
                   -probe K measures hintless filter selectivity on a sample,
                   -materialized disables streaming, -chunk N pins the
                   micro-batch width, -adaptive enables the self-tuning
-                  runtime with -chunk-min/-chunk-max bounds)
+                  runtime with -chunk-min/-chunk-max bounds,
+                  -faults key=val,... injects deterministic upstream faults
+                  healed by -retries N attempts, -on-record-error
+                  fail|skip|quarantine picks the degraded-mode policy)
   pipeline-study  naive sequential operators vs the optimized pipeline —
                   materialized, streaming+probed, and adaptive — plus the
                   side-input overlap scenario (-records N -dup F -batch K)

@@ -13,6 +13,17 @@
 //	           [-tenant-rate 100] [-tenant-burst 32]
 //	           [-batch 0] [-parallelism 0] [-chunk 0] [-adaptive]
 //	           [-drain-timeout 30s]
+//	           [-retries 3] [-breaker-threshold 5] [-breaker-cooldown 10s]
+//	           [-tenant-retry-budget 0] [-on-record-error quarantine]
+//	           [-job-retention 1h] [-max-jobs 4096]
+//	           [-faults transient=0.05,burst-every=100,burst-len=5]
+//
+// The resilience flags wrap the upstream model in a retry/backoff policy
+// with a circuit breaker (resil.Policy): while the breaker is open,
+// submissions are refused with 503 and a Retry-After header. -faults
+// injects deterministic upstream faults below the policy — the chaos
+// configuration the CI smoke test drives. -job-retention/-max-jobs bound
+// how long finished jobs stay pollable. See docs/RESILIENCE.md.
 //
 // Endpoints: POST /v1/pipelines, GET|DELETE /v1/jobs/{id},
 // GET /v1/tenants/{id}/report, GET /v1/stats, GET /healthz. Submit jobs
@@ -33,7 +44,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/llm"
 	"repro/internal/llm/sim"
+	"repro/internal/resil"
 	"repro/internal/server"
 )
 
@@ -50,19 +63,52 @@ func main() {
 	chunk := flag.Int("chunk", 0, "records per streaming micro-batch (0 = default)")
 	adaptive := flag.Bool("adaptive", false, "enable the adaptive pipeline runtime")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	faults := flag.String("faults", "",
+		"inject deterministic upstream faults: key=val,... over seed, transient, timeout, ratelimit, permanent, malformed, wrong-section, burst-every, burst-len (empty = none)")
+	retries := flag.Int("retries", 3, "max attempts per upstream call (1 = no retries)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive upstream failures before the circuit opens (0 = no breaker)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long an open breaker refuses work before probing")
+	retryBudget := flag.Int("tenant-retry-budget", 0, "default per-tenant retry budget (0 = unlimited, negative = none)")
+	onRecordError := flag.String("on-record-error", "", "degraded-mode record policy: fail (default), skip, or quarantine")
+	jobRetention := flag.Duration("job-retention", 0, "how long finished jobs stay pollable (0 = keep forever unless -max-jobs is set)")
+	maxJobs := flag.Int("max-jobs", 0, "finished jobs retained before the oldest are dropped (0 = uncapped unless -job-retention is set)")
 	flag.Parse()
 
+	var policy *resil.Policy
+	if *retries > 1 || *breakerThreshold > 0 || *faults != "" {
+		policy = &resil.Policy{
+			MaxAttempts:      *retries,
+			BaseBackoff:      50 * time.Millisecond,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		}
+	}
+	base := llm.Model(sim.NewNamed(*model))
+	if *faults != "" {
+		plan, err := llm.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "declserver: %v\n", err)
+			os.Exit(2)
+		}
+		base = llm.WithFaults(base, plan)
+	}
+
 	srv := server.New(server.Config{
-		Model:         sim.NewNamed(*model),
-		StateDir:      *stateDir,
-		Batch:         *batch,
-		Parallelism:   *parallelism,
-		Chunk:         *chunk,
-		Adaptive:      *adaptive,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		TenantRate:    *tenantRate,
-		TenantBurst:   *tenantBurst,
+		Model:             base,
+		StateDir:          *stateDir,
+		Batch:             *batch,
+		Parallelism:       *parallelism,
+		Chunk:             *chunk,
+		Adaptive:          *adaptive,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantRetryBudget: *retryBudget,
+		Resilience:        policy,
+		OnRecordError:     *onRecordError,
+		JobRetention:      *jobRetention,
+		MaxJobs:           *maxJobs,
 	})
 	if err := srv.StateError(); err != nil {
 		fmt.Fprintf(os.Stderr, "declserver: %v (continuing stateless)\n", err)

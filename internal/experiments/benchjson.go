@@ -45,15 +45,18 @@ type BenchRow struct {
 // the persistence section (warm index load vs rebuild and the cache
 // log's append/replay/compaction economics, see docs/PERSISTENCE.md);
 // v4 added the server section (multi-tenant cold/warm burst economics
-// against a resident declserver, see docs/SERVER.md).
+// against a resident declserver, see docs/SERVER.md); v5 added the
+// resilience section (the fault-injection chaos ladder: healed retries,
+// quarantine counts, and availability, see docs/RESILIENCE.md).
 type BenchReport struct {
-	Schema          string           `json:"schema"`
-	Go              string           `json:"go"`
-	Workload        string           `json:"workload"`
-	Benchmarks      []BenchRow       `json:"benchmarks"`
-	IndexBenchmarks []IndexBenchRow  `json:"index_benchmarks"`
-	Persistence     *PersistenceRow  `json:"persistence,omitempty"`
-	Server          []ServerBenchRow `json:"server,omitempty"`
+	Schema          string               `json:"schema"`
+	Go              string               `json:"go"`
+	Workload        string               `json:"workload"`
+	Benchmarks      []BenchRow           `json:"benchmarks"`
+	IndexBenchmarks []IndexBenchRow      `json:"index_benchmarks"`
+	Persistence     *PersistenceRow      `json:"persistence,omitempty"`
+	Server          []ServerBenchRow     `json:"server,omitempty"`
+	Resilience      []ResilienceBenchRow `json:"resilience,omitempty"`
 }
 
 // benchWorkload mirrors internal/pipeline's benchmark shape: a
@@ -117,7 +120,7 @@ func PipelineBench(ctx context.Context, iters int, stateDir string) (*BenchRepor
 	}
 
 	report := &BenchReport{
-		Schema:   "pipeline-bench/v4",
+		Schema:   "pipeline-bench/v5",
 		Go:       runtime.Version(),
 		Workload: "restaurants 12 source / 40 train, resolve->filter->impute",
 	}
@@ -211,6 +214,15 @@ func PipelineBench(ctx context.Context, iters int, stateDir string) (*BenchRepor
 		return nil, fmt.Errorf("bench server: %w", err)
 	}
 	report.Server = serverRows
+
+	// Resilience: the fault-injection chaos ladder — every counter
+	// deterministic, so regressions in retry healing or quarantine
+	// accounting show as a clean diff.
+	resilRows, err := ResilienceBench(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench resilience: %w", err)
+	}
+	report.Resilience = resilRows
 	return report, nil
 }
 
@@ -245,6 +257,9 @@ func FormatBenchReport(report *BenchReport) string {
 	}
 	if report.Persistence != nil {
 		fmt.Fprintf(&b, "\npersistence:\n%s", FormatPersistence(report.Persistence))
+	}
+	if len(report.Resilience) > 0 {
+		fmt.Fprintf(&b, "\nresilience:\n%s", FormatResilienceBench(report.Resilience))
 	}
 	return b.String()
 }

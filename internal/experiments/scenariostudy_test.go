@@ -31,6 +31,8 @@ func TestScenarioStudyPinned(t *testing.T) {
 		{ID: "overlap-ingestion", Calls: 12, Tokens: 578, SharedHits: 12, Rows: 3},
 		{ID: "adaptive-replan-drift", Calls: 3, Tokens: 86, SharedHits: 16, Rows: 2},
 		{ID: "declserver-multi-tenant", Calls: 3, Tokens: 85, SharedHits: 93, Rows: 4},
+		{ID: "fault-burst-recovery", Calls: 6, Tokens: 173, SharedHits: 49, Rows: 4},
+		{ID: "breaker-open-recover", Calls: 4, Tokens: 114, SharedHits: 37, Rows: 4},
 	}
 	if len(res.Rows) != len(want) {
 		t.Fatalf("study ran %d scenarios, want %d", len(res.Rows), len(want))

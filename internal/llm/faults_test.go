@@ -1,0 +1,148 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func faultEcho() Func {
+	return Func{ModelName: "echo", Fn: func(_ context.Context, req Request) (Response, error) {
+		return Response{Text: "echo: " + req.Prompt, Model: "echo"}, nil
+	}}
+}
+
+func TestZeroFaultPlanIsPassthrough(t *testing.T) {
+	base := faultEcho()
+	faulty := WithFaults(base, FaultPlan{})
+	for i := 0; i < 50; i++ {
+		resp, err := faulty.Complete(context.Background(), Request{Prompt: "hello"})
+		if err != nil {
+			t.Fatalf("zero plan injected error: %v", err)
+		}
+		want, _ := base.Complete(context.Background(), Request{Prompt: "hello"})
+		if resp.Text != want.Text {
+			t.Fatalf("zero plan changed response: %q != %q", resp.Text, want.Text)
+		}
+	}
+	if got := faulty.Stats().Injected(); got != 0 {
+		t.Fatalf("zero plan stats: injected %d", got)
+	}
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	run := func() ([]error, FaultStats) {
+		faulty := WithFaults(faultEcho(), FaultPlan{Seed: 7, Transient: 0.4, Timeout: 0.2, RateLimit: 0.1})
+		errs := make([]error, 0, 40)
+		for i := 0; i < 10; i++ {
+			for attempt := 0; attempt < 4; attempt++ {
+				_, err := faulty.Complete(context.Background(), Request{Prompt: strings.Repeat("p", i+1)})
+				errs = append(errs, err)
+			}
+		}
+		return errs, faulty.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("replay diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Injected() == 0 {
+		t.Fatal("plan with 70% combined probability injected nothing")
+	}
+	healed := false
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			t.Fatalf("call %d diverged: %v vs %v", i, a[i], b[i])
+		}
+		// A transient fault must heal on a later attempt of the same prompt.
+		if a[i] != nil && i%4 < 3 && a[i+1] == nil {
+			healed = true
+		}
+	}
+	if !healed {
+		t.Fatal("no faulted prompt healed on retry — transient faults are not transient")
+	}
+}
+
+func TestPermanentFaultsStickPerPrompt(t *testing.T) {
+	faulty := WithFaults(faultEcho(), FaultPlan{Seed: 3, Permanent: 0.3})
+	poisoned, clean := "", ""
+	for i := 0; i < 30 && (poisoned == "" || clean == ""); i++ {
+		p := strings.Repeat("q", i+1)
+		if _, err := faulty.Complete(context.Background(), Request{Prompt: p}); err != nil {
+			poisoned = p
+		} else {
+			clean = p
+		}
+	}
+	if poisoned == "" || clean == "" {
+		t.Fatalf("expected both poisoned and clean prompts at p=0.3 (poisoned=%q clean=%q)", poisoned, clean)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := faulty.Complete(context.Background(), Request{Prompt: poisoned}); !errors.Is(err, ErrPermanent) {
+			t.Fatalf("poisoned prompt attempt %d: got %v, want ErrPermanent", i, err)
+		}
+		if _, err := faulty.Complete(context.Background(), Request{Prompt: clean}); err != nil {
+			t.Fatalf("clean prompt attempt %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestBurstWindow(t *testing.T) {
+	faulty := WithFaults(faultEcho(), FaultPlan{BurstEvery: 10, BurstLen: 3})
+	for i := 0; i < 20; i++ {
+		_, err := faulty.Complete(context.Background(), Request{Prompt: "same"})
+		inBurst := i%10 < 3
+		if inBurst && !errors.Is(err, ErrTransient) {
+			t.Fatalf("call %d: want burst transient, got %v", i, err)
+		}
+		if !inBurst && err != nil {
+			t.Fatalf("call %d outside burst failed: %v", i, err)
+		}
+	}
+	if got := faulty.Stats().Burst; got != 6 {
+		t.Fatalf("burst count = %d, want 6", got)
+	}
+}
+
+func TestWrongSectionCorruptsBatchHeaders(t *testing.T) {
+	reply := "### Task 1\nyes\n### Task 2\nno"
+	base := Func{ModelName: "b", Fn: func(context.Context, Request) (Response, error) {
+		return Response{Text: reply}, nil
+	}}
+	faulty := WithFaults(base, FaultPlan{WrongSection: 1.0})
+	resp, err := faulty.Complete(context.Background(), Request{Prompt: "envelope"})
+	if err != nil {
+		t.Fatalf("wrong-section fault errored: %v", err)
+	}
+	if strings.Contains(resp.Text, "### Task 1\n") || !strings.Contains(resp.Text, "### Task 9001") {
+		t.Fatalf("headers not renumbered: %q", resp.Text)
+	}
+	// Non-batch replies degrade to truncation.
+	plain := WithFaults(faultEcho(), FaultPlan{WrongSection: 1.0})
+	resp, err = plain.Complete(context.Background(), Request{Prompt: "plain"})
+	if err != nil || resp.Text == "echo: plain" {
+		t.Fatalf("plain reply not corrupted: %q err=%v", resp.Text, err)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("seed=9, transient=0.25,wrong-section=0.5,burst-every=20,burst-len=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultPlan{Seed: 9, Transient: 0.25, WrongSection: 0.5, BurstEvery: 20, BurstLen: 4}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := ParseFaultPlan(""); err != nil || !p.Zero() {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	for _, bad := range []string{"transient=2", "nope=1", "seed", "timeout=x"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}

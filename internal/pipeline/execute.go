@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,8 +12,27 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/llm"
+	"repro/internal/resil"
 	"repro/internal/token"
 	"repro/internal/workflow"
+)
+
+// OnRecordError values: what a streaming per-record stage does when a
+// chunk's records cannot be processed (after the resilience policy, if
+// any, has already done its retrying). Barrier stages always fail fast —
+// their output depends on the whole table, so dropping records would
+// silently change the answer rather than narrow it.
+const (
+	// OnRecordFail aborts the run on the first record error (the default,
+	// and the only pre-existing behaviour).
+	OnRecordFail = "fail"
+	// OnRecordSkip retries the failed chunk record by record and silently
+	// drops the records that still fail, reporting only a count.
+	OnRecordSkip = "skip"
+	// OnRecordQuarantine is skip plus evidence: dropped records are
+	// counted per stage with the first few per-record errors preserved in
+	// the StageReport, so a degraded run says exactly what it left out.
+	OnRecordQuarantine = "quarantine"
 )
 
 // ExecConfig parameterises one pipeline run.
@@ -90,6 +110,23 @@ type ExecConfig struct {
 	// cache and no shared layer, registry, or batching. The experiments
 	// use it as the baseline the optimized pipeline is measured against.
 	Isolated bool
+	// Resilience, when non-nil, wraps the model with a retry / backoff /
+	// hedging / circuit-breaker policy for the run. The wrapper sits below
+	// the budget, attribution, batcher, and cache, so callers above see
+	// one logical call per ask (counted and cached once) however many
+	// physical attempts the policy spent; the physical activity lands in
+	// the Attribution's resilience counters and the Result. With no faults
+	// firing the wrapper is a no-op and results are byte-identical.
+	Resilience *resil.Policy
+	// OnRecordError selects degraded-mode execution for streaming
+	// per-record stages: OnRecordFail (default), OnRecordSkip, or
+	// OnRecordQuarantine. A failing chunk is retried record by record and
+	// the records that still fail are dropped (skip) or dropped-and-
+	// reported (quarantine) instead of aborting the run. Context
+	// cancellation, budget exhaustion, and an open circuit breaker always
+	// abort — they poison every record, not one. Barrier stages and
+	// adaptive filter segments fail fast regardless.
+	OnRecordError string
 }
 
 // chunkSize resolves the streaming micro-batch width.
@@ -161,7 +198,29 @@ func (cfg ExecConfig) chunkCap() int {
 type execRuntime struct {
 	budget    *workflow.Budget
 	attr      *workflow.Attribution
+	resil     *resil.Model // non-nil when cfg.Resilience wrapped the model
 	engineFor func() *core.Engine
+}
+
+// flushResil folds the run's resilience activity into the ledger and
+// returns it. The wrapper is private to this runtime, so its lifetime
+// counters are exactly this run's delta.
+func (rt *execRuntime) flushResil() workflow.ResilienceStats {
+	if rt.resil == nil {
+		return workflow.ResilienceStats{}
+	}
+	s := rt.resil.Stats()
+	delta := workflow.ResilienceStats{
+		Retries:      s.Retries,
+		Hedges:       s.Hedges,
+		HedgeWins:    s.HedgeWins,
+		BreakerOpens: s.BreakerOpens,
+		RetryDenials: s.RetryDenials,
+	}
+	if !delta.Zero() {
+		rt.attr.AddResilience(delta)
+	}
+	return delta
 }
 
 func (cfg ExecConfig) runtime() *execRuntime {
@@ -181,7 +240,14 @@ func (cfg ExecConfig) runtime() *execRuntime {
 		baseOpts = append(baseOpts, core.WithEmbedder(cfg.Embedder))
 	}
 	rt := &execRuntime{budget: budget, attr: attr}
-	rt.engineFor = func() *core.Engine { return core.New(cfg.Model, baseOpts...) }
+	model := cfg.Model
+	if cfg.Resilience != nil {
+		// Below everything: retries and hedges are invisible to the budget,
+		// ledger, batcher, and cache above — one logical call per ask.
+		rt.resil = resil.Wrap(model, *cfg.Resilience)
+		model = rt.resil
+	}
+	rt.engineFor = func() *core.Engine { return core.New(model, baseOpts...) }
 	if !cfg.Isolated {
 		layer := cfg.Exec
 		if layer == nil {
@@ -196,7 +262,7 @@ func (cfg ExecConfig) runtime() *execRuntime {
 		if cfg.Batch > 1 {
 			opts = append(opts, core.WithBatching(cfg.Batch))
 		}
-		shared := core.New(cfg.Model, opts...)
+		shared := core.New(model, opts...)
 		rt.engineFor = func() *core.Engine { return shared }
 	}
 	return rt
@@ -216,13 +282,46 @@ type Env struct {
 	chunk chunker
 	stats *stageStats
 	run   *runState
+	onErr string // resolved OnRecordError mode
 }
 
-// runState collects scalar outputs and details across stages.
+// maxQuarantineErrors bounds the per-stage error samples kept for the
+// StageReport; the count is always exact.
+const maxQuarantineErrors = 3
+
+// quarantineInfo is one stage's side-channel of dropped records.
+type quarantineInfo struct {
+	count int
+	errs  []string
+}
+
+// runState collects scalar outputs, details, and the degraded-mode
+// side-channels across stages.
 type runState struct {
 	mu      sync.Mutex
 	scalars map[string]string
 	details map[string]string
+	skipped map[string]int
+	quar    map[string]*quarantineInfo
+}
+
+// dropRecord records one record dropped under skip or quarantine mode.
+func (e *Env) dropRecord(stage string, r dataset.Record, err error) {
+	e.run.mu.Lock()
+	defer e.run.mu.Unlock()
+	if e.onErr == OnRecordSkip {
+		e.run.skipped[stage]++
+		return
+	}
+	q := e.run.quar[stage]
+	if q == nil {
+		q = &quarantineInfo{}
+		e.run.quar[stage] = q
+	}
+	q.count++
+	if len(q.errs) < maxQuarantineErrors {
+		q.errs = append(q.errs, fmt.Sprintf("record %s: %v", r.ID, err))
+	}
 }
 
 func (e *Env) setScalar(stage, value string) {
@@ -259,6 +358,12 @@ type StageReport struct {
 	Timing workflow.StageTiming
 	// Detail is the stage's operator-specific summary.
 	Detail string
+	// Skipped counts records dropped under OnRecordSkip.
+	Skipped int
+	// Quarantined counts records diverted under OnRecordQuarantine, with
+	// the first few per-record errors preserved in QuarantineErrors.
+	Quarantined      int
+	QuarantineErrors []string
 }
 
 // Result is the outcome of one pipeline run.
@@ -280,6 +385,15 @@ type Result struct {
 	// Usage and Cost total the run (equal to the sum over Stages).
 	Usage token.Usage
 	Cost  float64
+	// Skipped and Quarantined total the records dropped by degraded-mode
+	// execution across stages (see ExecConfig.OnRecordError).
+	Skipped     int
+	Quarantined int
+	// Resilience reports the run's physical retry/hedge/breaker activity
+	// when ExecConfig.Resilience was set (zero otherwise). These count
+	// events below the logical-call accounting: Usage is unaffected by
+	// how many attempts a call took.
+	Resilience workflow.ResilienceStats
 }
 
 // streamOut is one stage's output viewed both as a stream and as a
@@ -402,8 +516,14 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 	if cfg.ChunkMin > 0 && cfg.ChunkMax > 0 && cfg.ChunkMin > cfg.ChunkMax {
 		return nil, fmt.Errorf("pipeline: ChunkMin %d exceeds ChunkMax %d", cfg.ChunkMin, cfg.ChunkMax)
 	}
+	switch cfg.OnRecordError {
+	case "", OnRecordFail, OnRecordSkip, OnRecordQuarantine:
+	default:
+		return nil, fmt.Errorf("pipeline: unknown OnRecordError %q (want fail, skip, or quarantine)", cfg.OnRecordError)
+	}
 	rt := cfg.runtime()
-	state := &runState{scalars: make(map[string]string), details: make(map[string]string)}
+	state := &runState{scalars: make(map[string]string), details: make(map[string]string),
+		skipped: make(map[string]int), quar: make(map[string]*quarantineInfo)}
 
 	outs := make(map[string]*streamOut, len(p.stages)+1)
 	root := &streamOut{table: source, done: make(chan struct{})}
@@ -501,6 +621,9 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 		}(st, p.specs[i])
 	}
 	wg.Wait()
+	// Fold resilience activity into the ledger even when the run failed:
+	// the retries were spent either way and the ledger must say so.
+	resilStats := rt.flushResil()
 
 	// Surface the root cause: a failing stage cancels the run, so sibling
 	// branches die with context errors that would otherwise mask the stage
@@ -543,18 +666,27 @@ func (p *Pipeline) Run(ctx context.Context, cfg ExecConfig, tables map[string][]
 	for _, st := range p.stages {
 		out := outs[st.Name()]
 		res.Tables[st.Name()] = out.table
-		res.Stages = append(res.Stages, StageReport{
-			Name:   st.Name(),
-			Kind:   st.Kind(),
-			In:     out.consumed,
-			Out:    len(out.table),
-			Usage:  rt.attr.Usage(st.Name()),
-			Cost:   rt.attr.Cost(st.Name()),
-			Timing: rt.attr.Timing(st.Name()),
-			Detail: state.details[st.Name()],
-		})
+		report := StageReport{
+			Name:    st.Name(),
+			Kind:    st.Kind(),
+			In:      out.consumed,
+			Out:     len(out.table),
+			Usage:   rt.attr.Usage(st.Name()),
+			Cost:    rt.attr.Cost(st.Name()),
+			Timing:  rt.attr.Timing(st.Name()),
+			Detail:  state.details[st.Name()],
+			Skipped: state.skipped[st.Name()],
+		}
+		if q := state.quar[st.Name()]; q != nil {
+			report.Quarantined = q.count
+			report.QuarantineErrors = q.errs
+		}
+		res.Skipped += report.Skipped
+		res.Quarantined += report.Quarantined
+		res.Stages = append(res.Stages, report)
 	}
 	res.Usage, res.Cost = rt.attr.Total()
+	res.Resilience = resilStats
 	return res, nil
 }
 
@@ -590,7 +722,8 @@ func (p *Pipeline) runStage(ctx context.Context, cancel context.CancelFunc, cfg 
 	}
 
 	env := &Env{Engine: rt.engineFor(), Budget: rt.budget, Tables: tables,
-		chunk: cfg.newChunker(), stats: &stageStats{stage: st.Name()}, run: state}
+		chunk: cfg.newChunker(), stats: &stageStats{stage: st.Name()}, run: state,
+		onErr: cfg.OnRecordError}
 	defer env.stats.flush(rt.attr)
 
 	// A dynamic side input (Side naming an earlier stage) needs the side
@@ -850,13 +983,24 @@ func FormatResult(res *Result) string {
 	out := fmt.Sprintf("%-14s %-11s %6s %6s %8s %8s %10s  %s\n",
 		"Stage", "Kind", "In", "Out", "Calls", "Tokens", "Cost", "Detail")
 	for _, s := range res.Stages {
+		detail := s.Detail
+		if s.Skipped > 0 {
+			detail += fmt.Sprintf(" [skipped %d]", s.Skipped)
+		}
+		if s.Quarantined > 0 {
+			detail += fmt.Sprintf(" [quarantined %d: %s]", s.Quarantined, strings.Join(s.QuarantineErrors, "; "))
+		}
 		out += fmt.Sprintf("%-14s %-11s %6d %6d %8d %8d %9.4f$  %s\n",
-			s.Name, s.Kind, s.In, s.Out, s.Usage.Calls, s.Usage.Total(), s.Cost, s.Detail)
+			s.Name, s.Kind, s.In, s.Out, s.Usage.Calls, s.Usage.Total(), s.Cost, detail)
 	}
 	for _, name := range sortedKeys(res.Scalars) {
 		out += fmt.Sprintf("scalar %-8s = %s\n", name, res.Scalars[name])
 	}
 	out += fmt.Sprintf("total: %d calls, %d tokens, $%.4f\n",
 		res.Usage.Calls, res.Usage.Total(), res.Cost)
+	if r := res.Resilience; !r.Zero() || res.Skipped > 0 || res.Quarantined > 0 {
+		out += fmt.Sprintf("resilience: %d retries, %d hedges (%d won), %d breaker opens, %d skipped, %d quarantined\n",
+			r.Retries, r.Hedges, r.HedgeWins, r.BreakerOpens, res.Skipped, res.Quarantined)
+	}
 	return out
 }

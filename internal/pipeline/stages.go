@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/resil"
+	"repro/internal/workflow"
 )
 
 // Stage is one operator node of a compiled pipeline: a thin typed wrapper
@@ -65,7 +68,25 @@ func runChunked(ctx context.Context, env *Env, in <-chan dataset.Record, emit fu
 			work := time.Now()
 			out, err := process(ctx, chunk)
 			if err != nil {
-				return consumed, err
+				if !degradable(env, err) {
+					return consumed, err
+				}
+				// Degraded mode: retry the chunk record by record so one
+				// poisoned record costs itself, not its chunk-mates. Healthy
+				// records were answered (and cached) during the chunk attempt,
+				// so their solo retries are upstream-free.
+				out = out[:0]
+				for _, r := range chunk {
+					solo, err := process(ctx, []dataset.Record{r})
+					if err != nil {
+						if !degradable(env, err) {
+							return consumed, err
+						}
+						env.dropRecord(env.stats.stage, r, err)
+						continue
+					}
+					out = append(out, solo...)
+				}
 			}
 			for _, r := range out {
 				if err := emit(r); err != nil {
@@ -80,6 +101,21 @@ func runChunked(ctx context.Context, env *Env, in <-chan dataset.Record, emit fu
 			return consumed, nil
 		}
 	}
+}
+
+// degradable reports whether a process error may be absorbed by skip or
+// quarantine mode. Cancellation, budget exhaustion, and an open circuit
+// breaker poison every record, not one — degrading on them would drop
+// the whole stream one record at a time.
+func degradable(env *Env, err error) bool {
+	if env.onErr != OnRecordSkip && env.onErr != OnRecordQuarantine {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, workflow.ErrBudgetExhausted) || errors.Is(err, resil.ErrBreakerOpen) {
+		return false
+	}
+	return true
 }
 
 // baseStage carries the shared identity fields.

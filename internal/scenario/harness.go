@@ -16,6 +16,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/resil"
 	"repro/internal/server"
 	"repro/internal/workflow"
 )
@@ -73,6 +74,7 @@ func (s *switchModel) Complete(ctx context.Context, req llm.Request) (llm.Respon
 type session struct {
 	base     llm.Model
 	sw       *switchModel
+	resil    *resil.Model
 	counting *llm.CountingModel
 	exec     *workflow.ExecLayer
 	registry *embed.Registry
@@ -92,12 +94,17 @@ func (s *session) snapshot() Snapshot {
 	total := s.counting.Total()
 	_, cost := s.attr.Total()
 	st := s.exec.Stats()
-	return Snapshot{
+	snap := Snapshot{
 		Calls: total.Calls, Tokens: total.Total(), Cost: cost,
 		CacheSize: st.CacheSize, CacheHits: st.CacheHits,
 		Coalesced: st.Coalesced, Batches: st.Batches,
 		SharedHits: st.CacheHits + st.Coalesced,
 	}
+	if s.resil != nil {
+		rs := s.resil.Stats()
+		snap.Retries, snap.Hedges, snap.BreakerOpens = rs.Retries, rs.Hedges, rs.BreakerOpens
+	}
+	return snap
 }
 
 // tables assembles one run's table map: the session's accumulated source
@@ -117,24 +124,33 @@ func (s *session) execConfig(k ExecKnobs) pipeline.ExecConfig {
 		Model: s.counting, Exec: s.exec, Registry: s.registry, Attribution: s.attr,
 		Batch: k.Batch, Parallelism: k.Parallelism, Chunk: k.Chunk,
 		Adaptive: k.Adaptive, ChunkMin: k.ChunkMin, ChunkMax: k.ChunkMax,
-		Materialized: k.Materialized,
+		Materialized: k.Materialized, OnRecordError: k.OnRecordError,
 	}
 }
 
 // newSession builds the engine stack: base model (sim oracle with the
-// scenario's predicates, or the escape-hatch model), the latency switch,
-// and the upstream call counter — which is the model the pipeline engine
-// sees, so cache hits and coalesced joins never reach it.
+// scenario's predicates, or the escape-hatch model), the latency/fault
+// switch, the scenario's resilience wrapper when it sets a policy, and
+// the upstream call counter — which is the model the pipeline engine
+// sees, so cache hits and coalesced joins never reach it, and retried
+// attempts (below the counter) never inflate it.
 func (h *Harness) newSession(sc *Scenario) *session {
 	base, engine := h.baseModel(sc)
 	sw := newSwitchModel(base)
-	return &session{
-		base: base, sw: sw, counting: llm.NewCounting(sw),
+	s := &session{
+		base: base, sw: sw,
 		exec: workflow.NewExecLayer(), registry: embed.NewRegistry(),
 		attr:   workflow.NewAttribution(),
 		source: append([]dataset.Record(nil), sc.Source...),
 		engine: engine,
 	}
+	var inner llm.Model = sw
+	if sc.Resilience != nil {
+		s.resil = resil.Wrap(sw, *sc.Resilience)
+		inner = s.resil
+	}
+	s.counting = llm.NewCounting(inner)
+	return s
 }
 
 // baseModel resolves the unwrapped engine: Options.Model, or a fresh sim
@@ -214,7 +230,7 @@ func validate(sc *Scenario) error {
 		}
 		names[t.Name] = true
 		switch t.Kind {
-		case TurnIngest, TurnQuery, TurnBurst, TurnLatency, TurnIdle:
+		case TurnIngest, TurnQuery, TurnBurst, TurnLatency, TurnIdle, TurnFaults:
 		case TurnServer:
 			if t.Server == nil || len(t.Server.Waves) == 0 {
 				return fmt.Errorf("scenario %s: server turn %q has no waves", sc.ID, t.Name)
@@ -249,6 +265,13 @@ func (h *Harness) runTurn(ctx context.Context, sc *Scenario, s *session, turn Tu
 			s.sw.install(s.base)
 		}
 
+	case TurnFaults:
+		if turn.Faults != nil && !turn.Faults.Zero() {
+			s.sw.install(llm.WithFaults(s.base, *turn.Faults))
+		} else {
+			s.sw.install(s.base)
+		}
+
 	case TurnIdle:
 		select {
 		case <-time.After(turn.Pause):
@@ -258,16 +281,23 @@ func (h *Harness) runTurn(ctx context.Context, sc *Scenario, s *session, turn Tu
 
 	case TurnQuery:
 		res, err := h.runQuery(ctx, sc, s, turn)
-		if err != nil {
+		switch {
+		case err != nil && turn.AllowError && ctx.Err() == nil:
+			// An expected outage: record it and keep the scenario alive so
+			// later turns can demonstrate recovery. A cancelled context is
+			// never "expected" — that still aborts.
+			tr.Failed, tr.Error = true, err.Error()
+		case err != nil:
 			return tr, err
-		}
-		h.describeRun(sc, turn, res, &tr)
-		if turn.CompareBatch {
-			identical, err := h.compareBatch(ctx, sc, s, turn, res)
-			if err != nil {
-				return tr, fmt.Errorf("batch reference: %w", err)
+		default:
+			h.describeRun(sc, turn, res, &tr)
+			if turn.CompareBatch {
+				identical, err := h.compareBatch(ctx, sc, s, turn, res)
+				if err != nil {
+					return tr, fmt.Errorf("batch reference: %w", err)
+				}
+				tr.Identical = &identical
 			}
-			tr.Identical = &identical
 		}
 
 	case TurnBurst:
@@ -306,6 +336,7 @@ func (h *Harness) describeRun(sc *Scenario, turn Turn, res *pipeline.Result, tr 
 	spec := turnSpec(sc, turn)
 	last := spec.Stages[len(spec.Stages)-1].Name
 	tr.Rows = len(res.Tables[last])
+	tr.Skipped, tr.Quarantined = res.Skipped, res.Quarantined
 	if len(res.Scalars) > 0 {
 		tr.Scalars = res.Scalars
 	}
@@ -572,6 +603,21 @@ func evalCheckpoint(cp Checkpoint, at Snapshot, tr TurnResult) CheckpointResult 
 		case !*tr.Balanced:
 			add("per-tenant ledger does not sum to the upstream counter")
 		}
+	}
+	if cp.WantRetries > 0 && at.Retries != cp.WantRetries {
+		add("cumulative retries %d, want %d", at.Retries, cp.WantRetries)
+	}
+	if cp.MinBreakerOpens > 0 && at.BreakerOpens < cp.MinBreakerOpens {
+		add("breaker opened %d times, below floor %d", at.BreakerOpens, cp.MinBreakerOpens)
+	}
+	if cp.WantQuarantined > 0 && tr.Quarantined != cp.WantQuarantined {
+		add("turn quarantined %d records, want %d", tr.Quarantined, cp.WantQuarantined)
+	}
+	if cp.RequireNoDrops && (tr.Skipped != 0 || tr.Quarantined != 0) {
+		add("turn dropped records (skipped %d, quarantined %d), want none", tr.Skipped, tr.Quarantined)
+	}
+	if cp.RequireFailed && !tr.Failed {
+		add("turn succeeded, want an expected failure (set Turn.AllowError)")
 	}
 	return CheckpointResult{
 		Checkpoint: cp.Name, Turn: cp.AfterTurn,

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/resil"
 )
 
 // TurnKind discriminates what a Turn does to the session.
@@ -56,6 +58,12 @@ const (
 	// TurnIdle pauses the session for Pause — a traffic lull between
 	// bursts.
 	TurnIdle TurnKind = "idle"
+	// TurnFaults installs a deterministic fault plan on the session's
+	// model from this turn on (llm.WithFaults over the base model); a nil
+	// or zero plan restores the healthy model. Installing faults replaces
+	// any latency wrapper and vice versa — the chaos scenarios perturb one
+	// axis at a time.
+	TurnFaults TurnKind = "faults"
 	// TurnServer drives multi-tenant traffic through a declserver core
 	// (internal/server) stood up over the session's engine stack: each
 	// tenant wave submits concurrent copies of the pipeline, the service
@@ -119,6 +127,14 @@ type Turn struct {
 	Latency time.Duration
 	// Pause is the idle duration (TurnIdle).
 	Pause time.Duration
+	// Faults is the deterministic fault plan to install (TurnFaults); nil
+	// or zero restores the healthy model.
+	Faults *llm.FaultPlan
+	// AllowError marks a query turn that is expected to fail — an outage
+	// window with the breaker tripping, say. The failure is recorded on
+	// the turn result (Failed, Error) instead of aborting the scenario,
+	// so later turns can demonstrate recovery.
+	AllowError bool
 	// Server is the multi-tenant load to drive (TurnServer).
 	Server *ServerLoad
 }
@@ -131,6 +147,10 @@ type ExecKnobs struct {
 	Adaptive                  bool
 	ChunkMin, ChunkMax        int
 	Materialized              bool
+	// OnRecordError selects the degraded-mode record policy
+	// (pipeline.OnRecordFail / OnRecordSkip / OnRecordQuarantine; empty
+	// means fail — today's semantics).
+	OnRecordError string
 }
 
 // Scenario is one named multi-turn traffic pattern plus its assertions.
@@ -153,6 +173,15 @@ type Scenario struct {
 	// scenario's filter/count stages answer deterministically; ignored
 	// when Options.Model supplies a real engine.
 	Predicates []sim.Predicate
+	// Resilience, when set, wraps the session model in a resil retry /
+	// hedge / breaker policy for the whole scenario. The wrapper sits
+	// below the counting model, so Calls counts settled answers — one per
+	// logical request however many attempts it took — and stays pinnable;
+	// the attempt-level story (retries, hedges, breaker opens) surfaces in
+	// the Snapshot's resilience counters. The wrapper and its breaker
+	// state persist across turns, which is what the breaker-recovery
+	// scenario measures.
+	Resilience *resil.Policy
 	// Turns is the traffic pattern, in order.
 	Turns []Turn
 	// Checkpoints are the assertions; every checkpoint must name a turn.
@@ -198,6 +227,22 @@ type Checkpoint struct {
 	// RequireBalanced asserts the server turn's per-tenant ledger summed
 	// exactly to the service's upstream call counter.
 	RequireBalanced bool
+	// WantRetries pins the cumulative retry count from the scenario's
+	// resilience wrapper (0 skips) — under a deterministic fault plan the
+	// exact number of healed attempts is known.
+	WantRetries int
+	// MinBreakerOpens is a floor on cumulative breaker-open transitions
+	// (0 skips).
+	MinBreakerOpens int
+	// WantQuarantined pins the bound turn's quarantined-record count
+	// (0 skips).
+	WantQuarantined int
+	// RequireNoDrops asserts the bound turn skipped and quarantined zero
+	// records — degraded modes armed but unused.
+	RequireNoDrops bool
+	// RequireFailed asserts the bound turn failed (an AllowError query
+	// that must fail — the outage the recovery turns then heal from).
+	RequireFailed bool
 }
 
 // Snapshot is the cumulative counter state a checkpoint evaluated
@@ -213,6 +258,11 @@ type Snapshot struct {
 	// the split between the two depends on request timing, their sum
 	// does not.
 	SharedHits int
+	// Retries/Hedges/BreakerOpens are the scenario resilience wrapper's
+	// cumulative counters; all zero when the scenario sets no policy.
+	Retries      int
+	Hedges       int
+	BreakerOpens int
 }
 
 // TurnResult is one turn's observed effect.
@@ -242,6 +292,14 @@ type TurnResult struct {
 	// spend sums exactly to the service's upstream counter (nil = not a
 	// server turn).
 	Balanced *bool `json:"balanced,omitempty"`
+	// Skipped/Quarantined count records the turn's run dropped or set
+	// aside under a degraded-mode policy.
+	Skipped     int `json:"skipped,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	// Failed marks an AllowError query turn that failed; Error holds the
+	// failure.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // CheckpointResult is one checkpoint's verdict.

@@ -28,6 +28,8 @@ var pinnedTotals = map[string]struct {
 	"overlap-ingestion":       {12, 578, 12},
 	"adaptive-replan-drift":   {3, 86, 16},
 	"declserver-multi-tenant": {3, 85, 93},
+	"fault-burst-recovery":    {6, 173, 49},
+	"breaker-open-recover":    {4, 114, 37},
 }
 
 // TestPrebuiltScenariosPass runs every pre-built scenario on the default

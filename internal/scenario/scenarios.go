@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/pipeline"
+	"repro/internal/resil"
 )
 
 // rec builds one record from name/value pairs.
@@ -366,6 +368,131 @@ func DeclserverMultiTenant() *Scenario {
 	}
 }
 
+// FaultBurstRecovery is the chaos scenario for the retry + degraded-mode
+// story: a deterministic fault burst flickers mid-run and retries heal
+// every fault invisibly; then a total outage window forces one record
+// into quarantine while the run still completes; then the storm clears
+// and the next run repairs the gap. Serial execution (Parallelism 1,
+// Chunk 1) keeps the burst window's call-order arithmetic exact, so the
+// retry and quarantine counts pin.
+func FaultBurstRecovery() *Scenario {
+	arrivals := []dataset.Record{
+		rec("late-w0", "kind", "widget"),
+		rec("late-g0", "kind", "gizmo"),
+	}
+	more := []dataset.Record{
+		rec("late-d0", "kind", "doohickey"),
+	}
+	return &Scenario{
+		ID:   "fault-burst-recovery",
+		Name: "Fault burst mid-run with retry healing and quarantine",
+		Description: "A burst plan fails every other upstream call mid-run: the two " +
+			"new asks each fault once and heal on retry (exactly 2 retries, no " +
+			"records dropped). Then a total outage exhausts retries on one new ask " +
+			"— the run completes anyway with exactly 1 record quarantined. The " +
+			"storm clears and the follow-up run repairs the gap for 1 call.",
+		Spec:       kindSpec(),
+		Source:     kindRecords(),
+		Exec:       ExecKnobs{Parallelism: 1, Chunk: 1, OnRecordError: pipeline.OnRecordQuarantine},
+		Predicates: kindPredicates(),
+		Resilience: &resil.Policy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond},
+		Turns: []Turn{
+			{Name: "cold", Kind: TurnQuery},
+			{Name: "flicker", Kind: TurnFaults, Faults: &llm.FaultPlan{Seed: 1, BurstEvery: 2, BurstLen: 1}},
+			{Name: "arrivals", Kind: TurnIngest, Records: arrivals},
+			{Name: "heal-through", Kind: TurnQuery},
+			{Name: "blackout", Kind: TurnFaults, Faults: &llm.FaultPlan{Seed: 1, BurstEvery: 1, BurstLen: 1}},
+			{Name: "more-arrivals", Kind: TurnIngest, Records: more},
+			{Name: "degrade", Kind: TurnQuery},
+			{Name: "calm", Kind: TurnFaults},
+			{Name: "after", Kind: TurnQuery},
+		},
+		Checkpoints: []Checkpoint{
+			{
+				Name: "cold-baseline", AfterTurn: "cold",
+				MinCalls: 3, MaxCalls: 3, WantRows: 4,
+				WantScalars: map[string]string{"tally": "4"},
+			},
+			{
+				Name: "retries-heal", AfterTurn: "heal-through",
+				MinCalls: 5, MaxCalls: 5, WantRetries: 2, RequireNoDrops: true,
+				WantRows: 4, WantScalars: map[string]string{"tally": "4"},
+			},
+			{
+				// The failing ask spends its retries twice: once in the chunk
+				// pass, once in the record-by-record reprocess that decides
+				// quarantine — 4 retries here on top of heal-through's 2.
+				Name: "degraded-completes", AfterTurn: "degrade",
+				MinCalls: 5, MaxCalls: 5, WantRetries: 6, WantQuarantined: 1,
+				WantRows: 4, WantScalars: map[string]string{"tally": "4"},
+			},
+			{
+				Name: "storm-clears", AfterTurn: "after",
+				MinCalls: 6, MaxCalls: 6, RequireNoDrops: true,
+				WantRows: 4, WantScalars: map[string]string{"tally": "4"},
+			},
+		},
+	}
+}
+
+// BreakerOpenRecover is the chaos scenario for the circuit-breaker
+// story: a total outage trips the breaker on the first failed call, the
+// next query is shed without touching the upstream, and once the faults
+// clear and the cooldown elapses a half-open probe heals the session —
+// all on the one persistent resilience wrapper the scenario pins.
+func BreakerOpenRecover() *Scenario {
+	growth := []dataset.Record{
+		rec("late-w0", "kind", "widget"),
+	}
+	return &Scenario{
+		ID:   "breaker-open-recover",
+		Name: "Breaker opens under outage, recovers after cooldown",
+		Description: "Every upstream call fails during an outage: the one uncached " +
+			"ask trips the breaker (threshold 1), the next query fails fast on the " +
+			"open breaker without an upstream attempt, and after the faults clear " +
+			"and the 50ms cooldown elapses the half-open probe succeeds — the " +
+			"recovery run costs exactly 1 call and closes the circuit.",
+		Spec:       kindSpec(),
+		Source:     kindRecords(),
+		Exec:       ExecKnobs{Parallelism: 1, Chunk: 1},
+		Predicates: kindPredicates(),
+		Resilience: &resil.Policy{
+			MaxAttempts:      1,
+			BreakerThreshold: 1,
+			BreakerCooldown:  50 * time.Millisecond,
+		},
+		Turns: []Turn{
+			{Name: "cold", Kind: TurnQuery},
+			{Name: "outage", Kind: TurnFaults, Faults: &llm.FaultPlan{Seed: 1, Transient: 1}},
+			{Name: "growth", Kind: TurnIngest, Records: growth},
+			{Name: "blackout", Kind: TurnQuery, AllowError: true},
+			{Name: "shed", Kind: TurnQuery, AllowError: true},
+			{Name: "repairs", Kind: TurnFaults},
+			{Name: "cooldown", Kind: TurnIdle, Pause: 60 * time.Millisecond},
+			{Name: "recover", Kind: TurnQuery},
+		},
+		Checkpoints: []Checkpoint{
+			{
+				Name: "cold-baseline", AfterTurn: "cold",
+				MinCalls: 3, MaxCalls: 3, WantRows: 4,
+			},
+			{
+				Name: "breaker-trips", AfterTurn: "blackout",
+				RequireFailed: true, MinBreakerOpens: 1, MaxCalls: 3,
+			},
+			{
+				Name: "shed-while-open", AfterTurn: "shed",
+				RequireFailed: true, MaxCalls: 3, MaxTurnWall: 5 * time.Second,
+			},
+			{
+				Name: "recovered", AfterTurn: "recover",
+				MinCalls: 4, MaxCalls: 4, MinBreakerOpens: 1,
+				WantRows: 4, WantScalars: map[string]string{"tally": "4"},
+			},
+		},
+	}
+}
+
 // List returns the pre-built scenarios in their canonical order. Each
 // call builds fresh values, so callers may mutate freely.
 func List() []*Scenario {
@@ -377,6 +504,8 @@ func List() []*Scenario {
 		OverlapIngestion(),
 		AdaptiveReplanDrift(),
 		DeclserverMultiTenant(),
+		FaultBurstRecovery(),
+		BreakerOpenRecover(),
 	}
 }
 

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sort"
+	"time"
+)
+
+// sweeper is the background job collector: it wakes on a fraction of the
+// retention window and drops terminal jobs that aged out or overflowed
+// the cap. Drain stops it; running and queued jobs are never touched, so
+// a sweep racing a long job is harmless.
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	every := time.Minute
+	if s.retention > 0 && s.retention/4 < every {
+		every = s.retention / 4
+	}
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-tick.C:
+			s.sweepJobs(now)
+		}
+	}
+}
+
+// stopSweeper shuts the sweeper down exactly once and waits for it to
+// exit, so Drain leaves no goroutine behind (the leak pin asserts this).
+func (s *Server) stopSweeper() {
+	if s.sweepStop == nil {
+		return
+	}
+	s.sweepOnce.Do(func() { close(s.sweepStop) })
+	<-s.sweepDone
+}
+
+// sweepJobs removes terminal jobs older than the retention window, then —
+// if a cap is set — the oldest surviving terminal jobs beyond it. It
+// returns how many jobs it dropped. Polling a swept job ID reports
+// ErrNotFound, the same as a never-submitted one; callers that need a
+// result longer than the window must copy it out.
+func (s *Server) sweepJobs(now time.Time) int {
+	type aged struct {
+		id string
+		at time.Time
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	var terminal []aged
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		term, at := j.state.terminal(), j.done
+		j.mu.Unlock()
+		if !term {
+			continue
+		}
+		if s.retention >= 0 && now.Sub(at) > s.retention {
+			delete(s.jobs, id)
+			removed++
+			continue
+		}
+		terminal = append(terminal, aged{id, at})
+	}
+	if s.maxJobs > 0 && len(terminal) > s.maxJobs {
+		sort.Slice(terminal, func(i, k int) bool { return terminal[i].at.Before(terminal[k].at) })
+		for _, a := range terminal[:len(terminal)-s.maxJobs] {
+			delete(s.jobs, a.id)
+			removed++
+		}
+	}
+	return removed
+}

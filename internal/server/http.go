@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
+	"repro/internal/resil"
 	"repro/internal/workflow"
 )
 
@@ -37,8 +40,9 @@ func writeError(w http.ResponseWriter, code int, typ, msg string) {
 
 // statusFor maps the server's sentinel errors onto HTTP semantics: the
 // caller's fault (400), over the tenant's rate (429), over the tenant's
-// budget (402), no capacity or shutting down (503), unknown resource
-// (404), everything else the server's fault (500).
+// budget (402), no capacity or shutting down (503), the upstream's
+// breaker open (503 with Retry-After, see fail), unknown resource (404),
+// everything else the server's fault (500).
 func statusFor(err error) (code int, typ string) {
 	switch {
 	case errors.Is(err, ErrBadSpec):
@@ -47,6 +51,8 @@ func statusFor(err error) (code int, typ string) {
 		return http.StatusTooManyRequests, "rate_limit_error"
 	case errors.Is(err, workflow.ErrBudgetExhausted):
 		return http.StatusPaymentRequired, "budget_exhausted_error"
+	case errors.Is(err, resil.ErrBreakerOpen):
+		return http.StatusServiceUnavailable, "upstream_unavailable_error"
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, "overloaded_error"
 	case errors.Is(err, ErrNotFound):
@@ -57,6 +63,14 @@ func statusFor(err error) (code int, typ string) {
 }
 
 func fail(w http.ResponseWriter, err error) {
+	// A breaker refusal knows when the upstream will accept a probe;
+	// surface it the standard way so well-behaved clients back off for
+	// exactly that long (ceiling to whole seconds, the header's unit).
+	var boe *resil.BreakerOpenError
+	if errors.As(err, &boe) && boe.RetryAfter > 0 {
+		secs := int64((boe.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	code, typ := statusFor(err)
 	writeError(w, code, typ, err.Error())
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/llm"
 	"repro/internal/pipeline"
+	"repro/internal/resil"
 	"repro/internal/token"
 	"repro/internal/workflow"
 )
@@ -73,6 +74,11 @@ type TenantLimits struct {
 	Burst int
 	// Caps bound the tenant's cumulative genuine upstream spend.
 	Caps TenantCaps
+	// RetryBudget caps the physical retries and hedges the resilience
+	// policy may spend on this tenant's behalf: 0 falls back to the
+	// Config default, negative means none at all. Only meaningful when
+	// Config.Resilience is set.
+	RetryBudget int
 }
 
 // Config parameterises a Server.
@@ -101,8 +107,31 @@ type Config struct {
 	TenantRate  float64
 	TenantBurst int
 	TenantCaps  TenantCaps
+	// TenantRetryBudget is the default per-tenant retry/hedge allowance
+	// (0 = unlimited, negative = no retries). See TenantLimits.RetryBudget.
+	TenantRetryBudget int
 	// Tenants overrides limits per tenant ID.
 	Tenants map[string]TenantLimits
+	// Resilience, when non-nil, wraps the raw model with retry/backoff,
+	// optional hedging, and a per-upstream circuit breaker — below the
+	// upstream counter and the tenant ledger, so retried attempts are
+	// never double-billed. The policy's AllowRetry hook is composed with
+	// the server's own per-tenant retry budgets; while the breaker is
+	// open, Submit refuses with a *resil.BreakerOpenError that the HTTP
+	// layer renders as 503 plus a Retry-After header.
+	Resilience *resil.Policy
+	// OnRecordError sets every job's degraded-mode policy (pipeline
+	// OnRecordFail/Skip/Quarantine; empty = fail fast).
+	OnRecordError string
+	// JobRetention bounds how long a terminal job stays pollable before
+	// the background sweeper drops it; MaxJobs caps the terminal jobs
+	// retained regardless of age, oldest evicted first. Collection is off
+	// until either field is set (no sweeper goroutine on a default
+	// server); setting one enables it with the other defaulting
+	// (retention 1h, cap 4096), and a negative value disables just that
+	// axis. Running and queued jobs are never collected.
+	JobRetention time.Duration
+	MaxJobs      int
 	// Exec, Registry, and Ledger inject shared substrate handles; nil
 	// builds fresh ones. The scenario harness injects its session's so
 	// server traffic shows up in the session counters.
@@ -164,6 +193,10 @@ type JobResult struct {
 	Calls   int                         `json:"calls"`
 	Tokens  int                         `json:"tokens"`
 	Cost    float64                     `json:"cost"`
+	// Skipped/Quarantined count records dropped by degraded-mode
+	// execution (Config.OnRecordError); zero on a fail-fast run.
+	Skipped     int `json:"skipped,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // StageStatus is one stage's accounting in a JobResult.
@@ -183,11 +216,13 @@ type StageStatus struct {
 // exactly the way the server renders a remote one and compare bytes.
 func JobResultOf(res *pipeline.Result) *JobResult {
 	out := &JobResult{
-		Tables:  res.Tables,
-		Scalars: res.Scalars,
-		Calls:   res.Usage.Calls,
-		Tokens:  res.Usage.Total(),
-		Cost:    res.Cost,
+		Tables:      res.Tables,
+		Scalars:     res.Scalars,
+		Calls:       res.Usage.Calls,
+		Tokens:      res.Usage.Total(),
+		Cost:        res.Cost,
+		Skipped:     res.Skipped,
+		Quarantined: res.Quarantined,
 	}
 	for _, st := range res.Stages {
 		out.Stages = append(out.Stages, StageStatus{
@@ -228,6 +263,10 @@ type TenantReport struct {
 	Served     int     `json:"served"`
 	FreeServed int     `json:"free_served"`
 	HitShare   float64 `json:"hit_share"`
+	// RetriesUsed counts the physical retries and hedges the resilience
+	// policy spent on this tenant's behalf (charged against the tenant's
+	// RetryBudget when one is set).
+	RetriesUsed int `json:"retries_used,omitempty"`
 	// Latency percentiles over the tenant's completed jobs' wall clocks.
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP95MS float64 `json:"latency_p95_ms"`
@@ -249,6 +288,11 @@ type Stats struct {
 	Running        int  `json:"running"`
 	Waiting        int  `json:"waiting"`
 	Draining       bool `json:"draining"`
+	// Resilience counters, present when Config.Resilience is set.
+	Retries      int  `json:"retries,omitempty"`
+	Hedges       int  `json:"hedges,omitempty"`
+	BreakerOpens int  `json:"breaker_opens,omitempty"`
+	BreakerOpen  bool `json:"breaker_open,omitempty"`
 }
 
 // tenant is one tenant's admission, budget, and accounting state.
@@ -256,6 +300,13 @@ type tenant struct {
 	id      string
 	limiter *workflow.RateLimiter
 	budget  *workflow.Budget
+	// retryBudget caps retries/hedges spent on this tenant (0 unlimited,
+	// negative none); restored/restoredCost carry spend loaded from a
+	// previous process's tenants.json — both set before the tenant takes
+	// traffic and immutable afterwards.
+	retryBudget  int
+	restored     token.Usage
+	restoredCost float64
 
 	served, free atomic.Int64
 
@@ -266,7 +317,22 @@ type tenant struct {
 	cancelled    int
 	throttled    int
 	rejectedBusy int
+	retriesUsed  int
 	latencies    []time.Duration
+}
+
+// spendRetry charges one retry or hedge against the tenant's allowance.
+func (t *tenant) spendRetry() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case t.retryBudget < 0:
+		return false
+	case t.retryBudget > 0 && t.retriesUsed >= t.retryBudget:
+		return false
+	}
+	t.retriesUsed++
+	return true
 }
 
 // job is one submission's server-side record.
@@ -280,6 +346,9 @@ type job struct {
 	err    error
 	result *pipeline.Result
 	wall   time.Duration
+	// done is when the job reached a terminal state; the retention
+	// sweeper measures age from it.
+	done time.Time
 }
 
 func (j *job) setState(s JobState) {
@@ -297,6 +366,7 @@ func (j *job) finish(s JobState, res *pipeline.Result, err error, wall time.Dura
 		return
 	}
 	j.state, j.result, j.err, j.wall = s, res, err, wall
+	j.done = time.Now()
 }
 
 // status renders the job's wire view.
@@ -326,7 +396,16 @@ type Server struct {
 	counting *llm.CountingModel
 	ledger   *workflow.Attribution
 	model    llm.Model
+	resil    *resil.Model
 	gate     *gate
+
+	// Job GC: effective retention (negative = disabled) and terminal-job
+	// cap (0 = none), plus the sweeper goroutine's lifecycle.
+	retention time.Duration
+	maxJobs   int
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	sweepOnce sync.Once
 
 	// baseCtx parents every async job, so jobs outlive their submitting
 	// HTTP request; Drain's hard-stop path cancels it.
@@ -370,14 +449,33 @@ func New(cfg Config) *Server {
 	if cfg.TenantBurst <= 0 {
 		cfg.TenantBurst = 32
 	}
+	retention, maxJobs := cfg.JobRetention, cfg.MaxJobs
+	gcConfigured := retention != 0 || maxJobs != 0
+	switch {
+	case retention == 0:
+		retention = time.Hour
+	case retention < 0:
+		retention = -1
+	}
+	switch {
+	case maxJobs == 0:
+		maxJobs = 4096
+	case maxJobs < 0:
+		maxJobs = 0
+	}
+	if !gcConfigured {
+		retention, maxJobs = -1, 0
+	}
 	s := &Server{
-		cfg:      cfg,
-		exec:     cfg.Exec,
-		registry: cfg.Registry,
-		ledger:   cfg.Ledger,
-		gate:     newGate(cfg.MaxConcurrent, cfg.MaxQueue),
-		tenants:  make(map[string]*tenant),
-		jobs:     make(map[string]*job),
+		cfg:       cfg,
+		exec:      cfg.Exec,
+		registry:  cfg.Registry,
+		ledger:    cfg.Ledger,
+		gate:      newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		retention: retention,
+		maxJobs:   maxJobs,
+		tenants:   make(map[string]*tenant),
+		jobs:      make(map[string]*job),
 	}
 	if s.exec == nil {
 		s.exec = workflow.NewExecLayer()
@@ -395,16 +493,58 @@ func New(cfg Config) *Server {
 		}
 	}
 	// The engine stack every job shares, bottom-up: the raw model, the
-	// upstream-truth counter, then the tenant ledger keyed by the context's
-	// tenant tag. Each job's ExecConfig layers its own budget, per-stage
-	// attribution, and the shared cache on top, so only genuine upstream
-	// calls reach this stack — which is exactly what makes
-	// ledger total == counter total an invariant.
-	s.counting = llm.NewCounting(cfg.Model)
+	// optional resilience wrapper (retry/hedge/breaker — *below* the
+	// counter, so only the winning attempt of each logical call is ever
+	// billed), the upstream-truth counter, then the tenant ledger keyed by
+	// the context's tenant tag. Each job's ExecConfig layers its own
+	// budget, per-stage attribution, and the shared cache on top, so only
+	// genuine upstream calls reach this stack — which is exactly what
+	// makes ledger total == counter total an invariant.
+	base := llm.Model(cfg.Model)
+	if cfg.Resilience != nil {
+		p := *cfg.Resilience
+		user := p.AllowRetry
+		p.AllowRetry = func(ctx context.Context) bool {
+			if user != nil && !user(ctx) {
+				return false
+			}
+			return s.allowRetry(ctx)
+		}
+		s.resil = resil.Wrap(base, p)
+		base = s.resil
+	}
+	s.counting = llm.NewCounting(base)
 	s.model = workflow.NewAttributingBy(s.counting, s.ledger, workflow.TenantTag)
 	s.exec.SetServeObserver(s)
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	if cfg.StateDir != "" {
+		if err := s.loadTenants(); err != nil && s.stateErr == nil {
+			s.stateErr = fmt.Errorf("server: restoring tenant spend: %w", err)
+		}
+	}
+	if s.retention >= 0 || s.maxJobs > 0 {
+		s.sweepStop, s.sweepDone = make(chan struct{}), make(chan struct{})
+		go s.sweeper()
+	}
 	return s
+}
+
+// allowRetry is the resilience policy's per-tenant retry-budget hook: a
+// retry or hedge on behalf of a known tenant spends that tenant's
+// allowance; untenanted calls (none, in practice — every job's context is
+// tagged) are not charged.
+func (s *Server) allowRetry(ctx context.Context) bool {
+	id := workflow.TenantTag(ctx)
+	if id == "" {
+		return true
+	}
+	s.mu.RLock()
+	t := s.tenants[id]
+	s.mu.RUnlock()
+	if t == nil {
+		return true
+	}
+	return t.spendRetry()
 }
 
 // StateError reports what went wrong attaching Config.StateDir, or nil.
@@ -443,6 +583,9 @@ func (s *Server) limitsFor(id string) TenantLimits {
 	if l.Caps == (TenantCaps{}) {
 		l.Caps = s.cfg.TenantCaps
 	}
+	if l.RetryBudget == 0 {
+		l.RetryBudget = s.cfg.TenantRetryBudget
+	}
 	return l
 }
 
@@ -454,9 +597,10 @@ func (s *Server) tenantFor(id string) *tenant {
 	}
 	l := s.limitsFor(id)
 	t := &tenant{
-		id:      id,
-		limiter: workflow.NewRateLimiter(l.Rate, l.Burst),
-		budget:  workflow.NewBudget(l.Caps.Dollars, l.Caps.Tokens, l.Caps.Calls),
+		id:          id,
+		limiter:     workflow.NewRateLimiter(l.Rate, l.Burst),
+		budget:      workflow.NewBudget(l.Caps.Dollars, l.Caps.Tokens, l.Caps.Calls),
+		retryBudget: l.RetryBudget,
 	}
 	s.tenants[id] = t
 	return t
@@ -492,6 +636,15 @@ func (s *Server) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, err
 	}
 	if _, ok := tables["source"]; !ok {
 		return nil, fmt.Errorf("%w: tables lack %q", ErrBadSpec, "source")
+	}
+	// With the upstream breaker open, every job would fail on its first
+	// genuinely-uncached call anyway; refuse at the door with the retry
+	// hint instead of burning a slot (HTTP: 503 + Retry-After).
+	if s.resil != nil {
+		if open, after := s.resil.BreakerState(); open {
+			return nil, fmt.Errorf("server: refusing submission: %w",
+				&resil.BreakerOpenError{RetryAfter: after})
+		}
 	}
 
 	s.mu.Lock()
@@ -559,15 +712,16 @@ func (s *Server) runJob(ctx context.Context, j *job, t *tenant, tk *ticket, p *p
 	j.setState(JobRunning)
 	start := time.Now()
 	cfg := pipeline.ExecConfig{
-		Model:       s.model,
-		Exec:        s.exec,
-		Registry:    s.registry,
-		Budget:      t.budget,
-		Attribution: workflow.NewAttribution(),
-		Batch:       s.cfg.Batch,
-		Parallelism: s.cfg.Parallelism,
-		Chunk:       s.cfg.Chunk,
-		Adaptive:    s.cfg.Adaptive,
+		Model:         s.model,
+		Exec:          s.exec,
+		Registry:      s.registry,
+		Budget:        t.budget,
+		Attribution:   workflow.NewAttribution(),
+		Batch:         s.cfg.Batch,
+		Parallelism:   s.cfg.Parallelism,
+		Chunk:         s.cfg.Chunk,
+		Adaptive:      s.cfg.Adaptive,
+		OnRecordError: s.cfg.OnRecordError,
 	}
 	h := p.Start(ctx, cfg, tables)
 	// The handle's context is this job's: cancellation reaches the run
@@ -628,8 +782,11 @@ func (s *Server) Report(id string) (*TenantReport, error) {
 	if t == nil {
 		return nil, fmt.Errorf("%w: tenant %q", ErrNotFound, id)
 	}
-	usage := s.ledger.Usage(id)
-	cost := s.ledger.Cost(id)
+	// The ledger is process-local; folding in the spend restored from a
+	// previous process keeps Calls == BudgetCalls across restarts (the
+	// budget was re-seeded with the same restored spend at load).
+	usage := s.ledger.Usage(id).Add(t.restored)
+	cost := s.ledger.Cost(id) + t.restoredCost
 	spent, dollars := t.budget.Spent()
 	r := &TenantReport{
 		Tenant: id,
@@ -643,6 +800,7 @@ func (s *Server) Report(id string) (*TenantReport, error) {
 	t.mu.Lock()
 	r.Submitted, r.Completed, r.Failed, r.Cancelled = t.submitted, t.completed, t.failed, t.cancelled
 	r.Throttled, r.RejectedBusy = t.throttled, t.rejectedBusy
+	r.RetriesUsed = t.retriesUsed
 	lats := append([]time.Duration(nil), t.latencies...)
 	t.mu.Unlock()
 	if len(lats) > 0 {
@@ -673,7 +831,7 @@ func (s *Server) Stats() *Stats {
 	s.mu.RLock()
 	tenants, jobs, draining := len(s.tenants), len(s.jobs), s.draining
 	s.mu.RUnlock()
-	return &Stats{
+	st := &Stats{
 		UpstreamCalls: upstream.Calls, UpstreamTokens: upstream.Total(),
 		LedgerCalls: ledger.Calls, LedgerTokens: ledger.Total(),
 		Balanced:  balanced,
@@ -681,6 +839,12 @@ func (s *Server) Stats() *Stats {
 		Tenants: tenants, Jobs: jobs,
 		Running: running, Waiting: waiting, Draining: draining,
 	}
+	if s.resil != nil {
+		rs := s.resil.Stats()
+		st.Retries, st.Hedges, st.BreakerOpens = rs.Retries, rs.Hedges, rs.BreakerOpens
+		st.BreakerOpen, _ = s.resil.BreakerState()
+	}
+	return st
 }
 
 // Drain is the graceful shutdown: refuse new submissions, wait for running
@@ -712,7 +876,13 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 	}
 	s.baseStop()
+	s.stopSweeper()
 	s.exec.SetServeObserver(nil)
+	if s.cfg.StateDir != "" {
+		if err := s.saveTenants(); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("server: persisting tenant spend: %w", err)
+		}
+	}
 	if err := s.exec.CloseState(); err != nil && drainErr == nil {
 		drainErr = fmt.Errorf("server: closing state: %w", err)
 	}

@@ -112,6 +112,18 @@ func (b *Budget) RemainingDollars() (float64, bool) {
 	return rem, true
 }
 
+// Restore seeds the budget with spend recorded by an earlier process, so
+// caps apply to a tenant's lifetime spend across restarts. Unlike Charge
+// it does not price the usage: the dollars were computed when the spend
+// actually happened, and re-pricing at today's rates would let a price
+// change retroactively shrink (or inflate) what a tenant already paid.
+func (b *Budget) Restore(u token.Usage, dollars float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent = b.spent.Add(u)
+	b.spentDollars += dollars
+}
+
 // Spent returns the usage and dollars recorded so far.
 func (b *Budget) Spent() (token.Usage, float64) {
 	b.mu.Lock()
